@@ -1,0 +1,133 @@
+// Command polyclip clips two WKT polygon files.
+//
+// Usage:
+//
+//	polyclip -op intersection -alg slabs -threads 8 subject.wkt clip.wkt
+//
+// Each input file holds one POLYGON or MULTIPOLYGON. The result is written
+// to stdout as WKT; -stats prints phase timings to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"polyclip"
+)
+
+func main() {
+	opName := flag.String("op", "intersection", "operation: intersection|union|difference|xor")
+	alg := flag.String("alg", "overlay", "algorithm: overlay|slabs|scanbeam|sequential")
+	threads := flag.Int("threads", 0, "parallelism (0 = all CPUs)")
+	stats := flag.Bool("stats", false, "print phase timings to stderr")
+	layers := flag.Bool("layers", false, "treat each input line as one feature and overlay the two layers pairwise")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: polyclip [flags] subject.wkt clip.wkt")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var op polyclip.Op
+	switch *opName {
+	case "intersection":
+		op = polyclip.Intersection
+	case "union":
+		op = polyclip.Union
+	case "difference":
+		op = polyclip.Difference
+	case "xor":
+		op = polyclip.Xor
+	default:
+		fatalf("unknown operation %q", *opName)
+	}
+
+	var algorithm polyclip.Algorithm
+	switch *alg {
+	case "overlay":
+		algorithm = polyclip.AlgoOverlay
+	case "slabs":
+		algorithm = polyclip.AlgoSlabs
+	case "scanbeam":
+		algorithm = polyclip.AlgoScanbeam
+	case "sequential":
+		algorithm = polyclip.AlgoSequential
+	default:
+		fatalf("unknown algorithm %q", *alg)
+	}
+
+	if *layers {
+		la := loadLayer(flag.Arg(0))
+		lb := loadLayer(flag.Arg(1))
+		results, st := polyclip.OverlayLayers(la, lb, op, polyclip.Options{Threads: *threads})
+		var area float64
+		for _, r := range results {
+			fmt.Println(polyclip.FormatWKT(r))
+			area += polyclip.Area(r)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "features: %d x %d -> %d results, total area %g\n",
+				len(la), len(lb), len(results), area)
+			fmt.Fprintf(os.Stderr, "slabs=%d sort=%v partition=%v clip=%v\n",
+				st.Slabs, st.Sort, st.Partition, st.Clip)
+		}
+		return
+	}
+
+	subject := loadWKT(flag.Arg(0))
+	clip := loadWKT(flag.Arg(1))
+
+	out, st := polyclip.ClipWith(subject, clip, op, polyclip.Options{
+		Algorithm: algorithm,
+		Threads:   *threads,
+	})
+	fmt.Println(polyclip.FormatWKT(out))
+	if *stats {
+		fmt.Fprintf(os.Stderr, "rings=%d area=%g\n", len(out), polyclip.Area(out))
+		if st != nil {
+			fmt.Fprintf(os.Stderr, "slabs=%d sort=%v partition=%v clip=%v merge=%v\n",
+				st.Slabs, st.Sort, st.Partition, st.Clip, st.Merge)
+		}
+	}
+}
+
+// loadLayer reads one feature per non-empty line.
+func loadLayer(path string) polyclip.Layer {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var layer polyclip.Layer
+	for ln, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		p, err := polyclip.ParseWKT(line)
+		if err != nil {
+			fatalf("%s:%d: %v", path, ln+1, err)
+		}
+		layer = append(layer, p)
+	}
+	return layer
+}
+
+func loadWKT(path string) polyclip.Polygon {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	p, err := polyclip.ParseWKT(string(raw))
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return p
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

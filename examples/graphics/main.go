@@ -1,0 +1,92 @@
+// Viewport clipping for a renderer: clip a small scene of polygons against
+// a rectangular viewport with the classic algorithms the paper cites as
+// baselines (Sutherland–Hodgman for convex windows, Liang–Barsky for
+// wireframe segments), then against an arbitrary polygon-shaped mask with
+// the general clipper — the case the classic algorithms cannot handle.
+// Renders the result as ASCII.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"polyclip"
+	"polyclip/internal/geom"
+	"polyclip/internal/shclip"
+)
+
+func main() {
+	viewport := geom.BBox{MinX: 10, MinY: 10, MaxX: 54, MaxY: 34}
+
+	scene := []polyclip.Polygon{
+		{geom.RegularPolygon(geom.Point{X: 16, Y: 30}, 12, 7, 0.4)},
+		{geom.Star(geom.Point{X: 44, Y: 16}, 14, 6, 5, 0.2)},
+		{geom.Rect(30, 22, 70, 40)},
+	}
+
+	// 1. Sutherland–Hodgman: clip each contour to the convex viewport.
+	var clipped []polyclip.Polygon
+	win := geom.Rect(viewport.MinX, viewport.MinY, viewport.MaxX, viewport.MaxY)
+	for _, poly := range scene {
+		var out polyclip.Polygon
+		for _, ring := range poly {
+			if c := shclip.SutherlandHodgman(ring, win); len(c) >= 3 {
+				out = append(out, c)
+			}
+		}
+		if len(out) > 0 {
+			clipped = append(clipped, out)
+		}
+	}
+	fmt.Println("Sutherland–Hodgman viewport clip:")
+	render(clipped, viewport)
+
+	// 2. Liang–Barsky: clip the wireframe of the scene.
+	var kept, dropped int
+	for _, poly := range scene {
+		for _, e := range poly.Edges() {
+			if _, ok := shclip.LiangBarsky(e, viewport); ok {
+				kept++
+			} else {
+				dropped++
+			}
+		}
+	}
+	fmt.Printf("Liang–Barsky wireframe: %d segments kept, %d culled\n\n", kept, dropped)
+
+	// 3. General clipping: mask the scene with a star-shaped (concave)
+	// viewport — beyond Sutherland–Hodgman's convex-window contract.
+	mask := polyclip.Polygon{geom.Star(geom.Point{X: 32, Y: 22}, 20, 9, 8, 0.1)}
+	var masked []polyclip.Polygon
+	for _, poly := range scene {
+		if out := polyclip.Clip(poly, mask, polyclip.Intersection); len(out) > 0 {
+			masked = append(masked, out)
+		}
+	}
+	fmt.Println("General clip against a concave star mask:")
+	render(masked, viewport)
+}
+
+// render rasterizes polygons into ASCII via even-odd point tests.
+func render(polys []polyclip.Polygon, view geom.BBox) {
+	const w, h = 64, 24
+	glyphs := "#*%@+"
+	var b strings.Builder
+	for row := h - 1; row >= 0; row-- {
+		for col := 0; col < w; col++ {
+			pt := geom.Point{
+				X: view.MinX + (float64(col)+0.5)/w*view.Width(),
+				Y: view.MinY + (float64(row)+0.5)/h*view.Height(),
+			}
+			ch := byte('.')
+			for i, p := range polys {
+				if p.ContainsPoint(pt) {
+					ch = glyphs[i%len(glyphs)]
+				}
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Println(b.String())
+}

@@ -1,0 +1,34 @@
+// Quickstart: clip two squares with every boolean operation and print the
+// results as WKT.
+package main
+
+import (
+	"fmt"
+
+	"polyclip"
+)
+
+func main() {
+	a := polyclip.Polygon{polyclip.Ring{
+		{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4},
+	}}
+	b := polyclip.Polygon{polyclip.Ring{
+		{X: 2, Y: 2}, {X: 6, Y: 2}, {X: 6, Y: 6}, {X: 2, Y: 6},
+	}}
+
+	for _, op := range []polyclip.Op{
+		polyclip.Intersection, polyclip.Union, polyclip.Difference, polyclip.Xor,
+	} {
+		out := polyclip.Clip(a, b, op)
+		fmt.Printf("%-13s area=%-5.1f %s\n", op, polyclip.Area(out), polyclip.FormatWKT(out))
+	}
+
+	// The same clip through the paper's multi-threaded slab algorithm, with
+	// phase timings.
+	out, st := polyclip.ClipWith(a, b, polyclip.Intersection, polyclip.Options{
+		Algorithm: polyclip.AlgoSlabs,
+		Threads:   4,
+	})
+	fmt.Printf("\nslab algorithm: area=%.1f slabs=%d partition=%v clip=%v merge=%v\n",
+		polyclip.Area(out), st.Slabs, st.Partition, st.Clip, st.Merge)
+}

@@ -1,0 +1,67 @@
+// SVG output: clip two polygons with every operation and write the results
+// as an SVG document (clip.svg) — the even-odd fill rule of the library maps
+// directly onto SVG's fill-rule="evenodd".
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"polyclip"
+	"polyclip/internal/geom"
+)
+
+func main() {
+	a := polyclip.Polygon{geom.Star(geom.Point{X: 50, Y: 50}, 40, 18, 7, 0.3)}
+	b := polyclip.Polygon{geom.SelfIntersectingStar(geom.Point{X: 75, Y: 60}, 40, 5, 0.8)}
+
+	ops := []struct {
+		op    polyclip.Op
+		color string
+	}{
+		{polyclip.Intersection, "#e5484d"},
+		{polyclip.Union, "#2a7de1"},
+		{polyclip.Difference, "#30a46c"},
+		{polyclip.Xor, "#8e4ec6"},
+	}
+
+	var sb strings.Builder
+	sb.WriteString(`<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 560 140" font-family="sans-serif" font-size="6">` + "\n")
+	for i, c := range ops {
+		out := polyclip.Clip(a, b, c.op)
+		dx := float64(i * 140)
+		sb.WriteString(fmt.Sprintf(`<g transform="translate(%g,10)">`+"\n", dx))
+		// Input outlines.
+		sb.WriteString(pathOf(a, "none", "#999", 0.6))
+		sb.WriteString(pathOf(b, "none", "#999", 0.6))
+		// Result.
+		sb.WriteString(pathOf(out, c.color, "#222", 0.8))
+		sb.WriteString(fmt.Sprintf(`<text x="40" y="118">%s (area %.1f)</text>`+"\n", c.op, polyclip.Area(out)))
+		sb.WriteString("</g>\n")
+	}
+	sb.WriteString("</svg>\n")
+
+	if err := os.WriteFile("clip.svg", []byte(sb.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote clip.svg with", len(ops), "panels")
+}
+
+// pathOf renders a polygon as one SVG path with even-odd fill.
+func pathOf(p polyclip.Polygon, fill, stroke string, width float64) string {
+	var d strings.Builder
+	for _, ring := range p {
+		for i, pt := range ring {
+			if i == 0 {
+				fmt.Fprintf(&d, "M%.2f %.2f ", pt.X, pt.Y)
+			} else {
+				fmt.Fprintf(&d, "L%.2f %.2f ", pt.X, pt.Y)
+			}
+		}
+		d.WriteString("Z ")
+	}
+	return fmt.Sprintf(`<path d="%s" fill="%s" fill-rule="evenodd" fill-opacity="0.7" stroke="%s" stroke-width="%g"/>`+"\n",
+		strings.TrimSpace(d.String()), fill, stroke, width)
+}

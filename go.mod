@@ -1,0 +1,3 @@
+module polyclip
+
+go 1.22

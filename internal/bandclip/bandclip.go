@@ -1,0 +1,256 @@
+// Package bandclip clips an arbitrary even-odd polygon to a horizontal band
+// lo <= y <= hi, exactly and in linear time. It implements the
+// rectangle-clipping Steps 4–5 of the paper's multi-threaded Algorithm 2:
+// the slabs span the full width of the data, so clipping to a slab is
+// clipping to a y-band. The points where edges cross the band boundaries are
+// the paper's "virtual vertices" (the k' term); the horizontal cap edges
+// synthesized along the boundaries are the shared edges along which adjacent
+// slabs' partial polygons are later merged (Fig. 6).
+//
+// The algorithm: each ring's edges are clipped to the band, producing chains
+// whose open ends lie on the boundary lines; on each boundary the chain ends
+// are sorted by x and paired consecutively — by the even-odd parity argument
+// of the paper's Lemma 3, each consecutive pair bounds an interior interval —
+// and the paired caps close the chains into output rings. Rings entirely
+// inside the band pass through untouched; self-intersecting and multi-ring
+// inputs are handled because only parity along the boundary lines matters.
+package bandclip
+
+import (
+	"sort"
+
+	"polyclip/internal/geom"
+)
+
+// Clip returns the part of the polygon with lo <= y <= hi.
+func Clip(poly geom.Polygon, lo, hi float64) geom.Polygon {
+	if lo >= hi || len(poly) == 0 {
+		return nil
+	}
+	var out geom.Polygon
+	var chains []geom.Ring // open polylines with ends on the boundaries
+
+	for _, r := range poly {
+		clipRing(r, lo, hi, &out, &chains)
+	}
+	if len(chains) == 0 {
+		return out
+	}
+
+	// Collect chain ends per boundary and pair them by x.
+	type endRef struct {
+		x     float64
+		chain int32
+		head  bool // true when this is chains[chain][0]
+	}
+	var loEnds, hiEnds []endRef
+	addEnd := func(c int32, head bool) {
+		var p geom.Point
+		if head {
+			p = chains[c][0]
+		} else {
+			p = chains[c][len(chains[c])-1]
+		}
+		ref := endRef{p.X, c, head}
+		if p.Y == lo {
+			loEnds = append(loEnds, ref)
+		} else {
+			hiEnds = append(hiEnds, ref)
+		}
+	}
+	for c := range chains {
+		addEnd(int32(c), true)
+		addEnd(int32(c), false)
+	}
+
+	// link[c][0] is the (chain, end) joined to chains[c]'s head, link[c][1]
+	// to its tail.
+	type link struct {
+		chain int32
+		head  bool
+	}
+	links := make([][2]link, len(chains))
+	pair := func(ends []endRef) {
+		sort.Slice(ends, func(a, b int) bool { return ends[a].x < ends[b].x })
+		for i := 0; i+1 < len(ends); i += 2 {
+			a, b := ends[i], ends[i+1]
+			ia, ib := 1, 1
+			if a.head {
+				ia = 0
+			}
+			if b.head {
+				ib = 0
+			}
+			links[a.chain][ia] = link{b.chain, b.head}
+			links[b.chain][ib] = link{a.chain, a.head}
+		}
+	}
+	pair(loEnds)
+	pair(hiEnds)
+
+	// Walk the chain-cap cycles.
+	used := make([]bool, len(chains))
+	for start := range chains {
+		if used[start] {
+			continue
+		}
+		var ring geom.Ring
+		cur, fromHead := int32(start), true
+		for !used[cur] {
+			used[cur] = true
+			pts := chains[cur]
+			if fromHead {
+				ring = append(ring, pts...)
+			} else {
+				for i := len(pts) - 1; i >= 0; i-- {
+					ring = append(ring, pts[i])
+				}
+			}
+			// Leave via the opposite end.
+			var exit link
+			if fromHead {
+				exit = links[cur][1] // left via tail
+			} else {
+				exit = links[cur][0]
+			}
+			cur, fromHead = exit.chain, exit.head
+		}
+		if len(ring) >= 3 {
+			out = append(out, dedupClosed(ring))
+		}
+	}
+	return out
+}
+
+// clipRing clips one ring, appending fully inside rings to out and partial
+// chains to chains.
+func clipRing(r geom.Ring, lo, hi float64, out *geom.Polygon, chains *[]geom.Ring) {
+	n := len(r)
+	if n < 3 {
+		return
+	}
+	inside := true
+	for _, p := range r {
+		if p.Y < lo || p.Y > hi {
+			inside = false
+			break
+		}
+	}
+	if inside {
+		*out = append(*out, r.Clone())
+		return
+	}
+	// Does the ring intersect the band at all?
+	rlo, rhi := r[0].Y, r[0].Y
+	for _, p := range r {
+		if p.Y < rlo {
+			rlo = p.Y
+		}
+		if p.Y > rhi {
+			rhi = p.Y
+		}
+	}
+	if rhi < lo || rlo > hi {
+		return
+	}
+
+	var cur geom.Ring
+	var local []geom.Ring
+	flush := func() {
+		if len(cur) >= 2 {
+			local = append(local, cur)
+		}
+		cur = nil
+	}
+
+	for i := 0; i < n; i++ {
+		a, b := r[i], r[(i+1)%n]
+		pa, pb, ok := clipEdgeToBand(a, b, lo, hi)
+		if !ok {
+			flush()
+			continue
+		}
+		if len(cur) == 0 {
+			cur = append(cur, pa)
+		} else if cur[len(cur)-1] != pa {
+			// Edge re-enters at a different point: break the chain.
+			flush()
+			cur = append(cur, pa)
+		}
+		if pb != cur[len(cur)-1] {
+			cur = append(cur, pb)
+		}
+	}
+	flush()
+
+	// Wraparound: if the ring started strictly inside the band, the last
+	// chain continues into the first one.
+	if len(local) >= 2 {
+		last := local[len(local)-1]
+		head := local[0]
+		if last[len(last)-1] == head[0] && strictlyInside(head[0].Y, lo, hi) {
+			local[0] = append(last, head[1:]...)
+			local = local[:len(local)-1]
+		}
+	} else if len(local) == 1 {
+		c := local[0]
+		if len(c) >= 3 && c[0] == c[len(c)-1] {
+			// Chain closed onto itself (ring grazing the boundary).
+			*out = append(*out, dedupClosed(c[:len(c)-1]))
+			local = local[:0]
+		}
+	}
+	*chains = append(*chains, local...)
+}
+
+func strictlyInside(y, lo, hi float64) bool { return y > lo && y < hi }
+
+// clipEdgeToBand clips segment a->b to the band, returning the clipped
+// endpoints. ok is false when the edge lies outside the band (touching in a
+// single point also returns false: such pieces are degenerate).
+func clipEdgeToBand(a, b geom.Point, lo, hi float64) (pa, pb geom.Point, ok bool) {
+	ya, yb := a.Y, b.Y
+	if ya <= lo && yb <= lo {
+		return pa, pb, false
+	}
+	if ya >= hi && yb >= hi {
+		// Both at or above hi: outside unless exactly on the boundary line.
+		if ya == hi && yb == hi {
+			return a, b, true // horizontal edge lying on the top boundary
+		}
+		return pa, pb, false
+	}
+	if ya == lo && yb == lo {
+		return a, b, true // horizontal edge on the bottom boundary
+	}
+	pa, pb = a, b
+	seg := geom.Segment{A: a, B: b}
+	if ya < lo {
+		pa = geom.Point{X: seg.XAtY(lo), Y: lo}
+	} else if ya > hi {
+		pa = geom.Point{X: seg.XAtY(hi), Y: hi}
+	}
+	if yb < lo {
+		pb = geom.Point{X: seg.XAtY(lo), Y: lo}
+	} else if yb > hi {
+		pb = geom.Point{X: seg.XAtY(hi), Y: hi}
+	}
+	if pa == pb {
+		return pa, pb, false
+	}
+	return pa, pb, true
+}
+
+// dedupClosed removes consecutive duplicate vertices from a closed ring.
+func dedupClosed(r geom.Ring) geom.Ring {
+	out := r[:0]
+	for i, p := range r {
+		if i == 0 || p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	if len(out) > 1 && out[0] == out[len(out)-1] {
+		out = out[:len(out)-1]
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sort"
+
+	"polyclip/internal/geom"
+	"polyclip/internal/isect"
+	"polyclip/internal/par"
+	"polyclip/internal/segtree"
+	"polyclip/internal/vatti"
+)
+
+// Alg1Report carries the size quantities of the paper's output-sensitive
+// analysis: n input vertices, m scanbeams, k edge intersections and k'
+// virtual vertices (the total scanbeam population, i.e. the per-beam edge
+// slots allocated by the segment tree).
+type Alg1Report struct {
+	N      int   // input vertices
+	M      int   // scanbeams
+	K      int   // intersection pairs (the paper's k)
+	KPrime int   // scanbeam population (the paper's k')
+	Output int   // output vertices
+	Procs  int   // n + k + k': the paper's processor bound
+	Trapez int   // trapezoids emitted in Step 3
+	Work   int64 // total comparisons modelled (for the PRAM cost accounting)
+}
+
+// AlgorithmOne clips two polygons with the multicore realization of the
+// paper's Algorithm 1: the whole pipeline runs in parallel over scanbeams
+// with parallelism p, using the segment tree for Step 2 and the
+// scanbeam-inversion finder for Step 3.2. Returns the result and the
+// output-sensitivity report.
+func AlgorithmOne(a, b geom.Polygon, op Op, p int) (geom.Polygon, Alg1Report) {
+	if p <= 0 {
+		p = par.DefaultParallelism()
+	}
+	var rep Alg1Report
+	rep.N = a.NumVertices() + b.NumVertices()
+
+	type owned struct {
+		seg   geom.Segment
+		owner uint8
+	}
+	var edges []owned
+	add := func(poly geom.Polygon, owner uint8) {
+		for _, r := range poly {
+			n := len(r)
+			if n < 3 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				p1, p2 := r[i], r[(i+1)%n]
+				if p1.Y == p2.Y {
+					continue // horizontal: regenerated as caps, see vatti pkg
+				}
+				if p1.Y > p2.Y {
+					p1, p2 = p2, p1
+				}
+				edges = append(edges, owned{geom.Segment{A: p1, B: p2}, owner})
+			}
+		}
+	}
+	add(a, 0)
+	add(b, 1)
+	if len(edges) == 0 {
+		return nil, rep
+	}
+
+	segs := make([]geom.Segment, len(edges))
+	for i, e := range edges {
+		segs[i] = e.seg
+	}
+
+	// Step 3.2 prerequisite (Lemma 4): intersections by inversion reporting.
+	// K is the inversion count — proper edge crossings, the paper's k;
+	// ScanbeamPairs additionally reports endpoint touches (ring adjacency),
+	// which the analysis does not charge for.
+	pairs := isect.ScanbeamPairs(segs, p)
+	rep.K = int(isect.CountCrossings(segs, p))
+
+	// Step 1: event schedule (endpoint and intersection ys), sorted.
+	ys := make([]float64, 0, 2*len(edges))
+	for _, e := range edges {
+		ys = append(ys, e.seg.A.Y, e.seg.B.Y)
+	}
+	for _, pt := range isect.Points(segs, pairs) {
+		ys = append(ys, pt.Y)
+	}
+	ys = segtree.Dedup(ys)
+	if len(ys) < 2 {
+		return nil, rep
+	}
+	rep.M = len(ys) - 1
+
+	// Step 2: populate scanbeams through the parallel segment tree.
+	tree := segtree.Build(ys, len(edges), func(i int32) segtree.Interval {
+		lo, hi := edges[i].seg.YSpan()
+		return segtree.Interval{Lo: lo, Hi: hi}
+	}, p)
+	beams, kprime := tree.AllBeams(p)
+	rep.KPrime = kprime
+	rep.Procs = rep.N + rep.K + rep.KPrime
+
+	// Step 3: per-beam classification and trapezoid emission, in parallel.
+	perBeam := make([][]vatti.Trapezoid, len(beams))
+	par.ForEachItem(len(beams), p, func(bi int) {
+		ids := beams[bi]
+		if len(ids) < 2 {
+			return
+		}
+		yb, yt := ys[bi], ys[bi+1]
+		ymid := (yb + yt) / 2
+		type entry struct {
+			xm    float64
+			id    int32
+			owner uint8
+		}
+		order := make([]entry, len(ids))
+		for i, id := range ids {
+			order[i] = entry{edges[id].seg.XAtY(ymid), id, edges[id].owner}
+		}
+		sort.Slice(order, func(x, y int) bool { return order[x].xm < order[y].xm })
+
+		var inSub, inClip, inOp bool
+		var left int32 = -1
+		var out []vatti.Trapezoid
+		for _, e := range order {
+			if e.owner == 0 {
+				inSub = !inSub
+			} else {
+				inClip = !inClip
+			}
+			now := op.Eval(inSub, inClip)
+			if now && !inOp {
+				left = e.id
+			} else if !now && inOp {
+				l, r := edges[left].seg, edges[e.id].seg
+				out = append(out, vatti.Trapezoid{
+					L1: geom.Point{X: l.XAtY(yb), Y: yb},
+					R1: geom.Point{X: r.XAtY(yb), Y: yb},
+					L2: geom.Point{X: l.XAtY(yt), Y: yt},
+					R2: geom.Point{X: r.XAtY(yt), Y: yt},
+				})
+			}
+			inOp = now
+		}
+		perBeam[bi] = out
+	})
+
+	var tzs []vatti.Trapezoid
+	for _, t := range perBeam {
+		tzs = append(tzs, t...)
+	}
+	rep.Trapez = len(tzs)
+
+	// Step 4: merge the per-beam partial polygons.
+	out := vatti.Assemble(tzs)
+	for _, r := range out {
+		rep.Output += len(r)
+	}
+	return out, rep
+}

@@ -1,0 +1,304 @@
+// Package core implements the paper's two parallel clipping algorithms on
+// top of the repository's substrates:
+//
+//   - AlgorithmOne — the multicore realization of the CREW PRAM Algorithm 1
+//     (§III): event schedule by parallel sort, scanbeam population through
+//     the parallel segment tree (Step 2), per-scanbeam contributing-vertex
+//     classification and trapezoid emission in parallel over beams (Step 3,
+//     Lemmas 1–3) with intersections from the inversion method (Lemma 4),
+//     and a parallel merge of the partial results (Step 4, Fig. 6).
+//
+//   - ClipPair / ClipLayers — the multi-threaded Algorithm 2 (§IV): the
+//     input is partitioned into p horizontal slabs balanced by event count,
+//     each slab is clipped independently by a sequential engine after
+//     rectangle-clipping both operands to the slab, and the partial outputs
+//     are merged by cancelling the seams along slab boundaries.
+//
+// All entry points report phase timings (partition / clip / merge) and
+// per-thread clip times so the paper's Figures 8–12 can be regenerated.
+package core
+
+import (
+	"math"
+	"time"
+
+	"polyclip/internal/bandclip"
+	"polyclip/internal/geom"
+	"polyclip/internal/overlay"
+	"polyclip/internal/par"
+	"polyclip/internal/vatti"
+)
+
+// Op re-exports the operation type shared by all engines.
+type Op = overlay.Op
+
+// Supported operations.
+const (
+	Intersection = overlay.Intersection
+	Union        = overlay.Union
+	Difference   = overlay.Difference
+	Xor          = overlay.Xor
+)
+
+// Engine selects the sequential clipper run inside each slab.
+type Engine uint8
+
+// Available engines.
+const (
+	// EngineOverlay is the subdivision/classification engine (default).
+	EngineOverlay Engine = iota
+	// EngineVatti is the scanbeam sweep engine (the GPC stand-in).
+	EngineVatti
+)
+
+// MergeMode selects how per-slab partial outputs are combined.
+type MergeMode uint8
+
+// Merge modes.
+const (
+	// MergeStitch cancels the horizontal seams along slab boundaries and
+	// restitches rings — the paper's Fig. 6 merge, flattened.
+	MergeStitch MergeMode = iota
+	// MergeConcat concatenates the partial outputs, leaving seam edges in
+	// place. The region is identical under the even-odd rule; only the ring
+	// structure differs. Fastest; matches the paper's replication variant
+	// where "the merging phase is not required".
+	MergeConcat
+	// MergeUnionTree merges by a reduction tree of pairwise polygon unions,
+	// the literal Fig. 6 construction. For the ablation benchmark.
+	MergeUnionTree
+)
+
+// PartitionMode selects how slab boundaries are chosen.
+type PartitionMode uint8
+
+// Partition modes.
+const (
+	// PartitionEvents balances slabs by event count — the paper's approach
+	// ("every thread gets roughly equal number of local event points").
+	PartitionEvents PartitionMode = iota
+	// PartitionUniform uses equal-height slabs — the uniform grid approach
+	// of the paper's [19], kept as the load-balancing ablation baseline.
+	PartitionUniform
+)
+
+// Options configures a parallel clipping run.
+type Options struct {
+	// Threads is the number of concurrent workers; <= 0 means GOMAXPROCS.
+	Threads int
+	// Slabs is the number of horizontal slabs the input is decomposed
+	// into; 0 means one per thread. Setting Slabs > Threads measures true
+	// per-slab costs with limited concurrency (used by the experiment
+	// harness to model scaling beyond the host's core count: per-slab
+	// timers are only CPU-attributable when workers do not outnumber
+	// cores).
+	Slabs int
+	// Engine is the per-slab sequential clipper.
+	Engine Engine
+	// Merge selects the partial-output merge strategy.
+	Merge MergeMode
+	// Partition selects the slab boundary placement.
+	Partition PartitionMode
+}
+
+// Stats reports where the time went, for the paper's figures.
+type Stats struct {
+	Slabs     int             // number of slabs actually used
+	Sort      time.Duration   // Step 1–2: event sort
+	Partition time.Duration   // Steps 4–5: rectangle clipping into slabs
+	Clip      time.Duration   // Step 6: per-slab clipping (wall clock)
+	Merge     time.Duration   // Step 8: merging partial outputs
+	PerThread []time.Duration // per-slab clip time (Fig. 11 load balance)
+}
+
+// CriticalPath returns the modelled parallel clip time: the maximum
+// per-thread clip time. On hosts with fewer cores than threads the wall
+// clock cannot show the paper's scaling; max-over-slabs is the
+// machine-independent quantity the speedup figures are shaped by.
+func (s *Stats) CriticalPath() time.Duration {
+	var m time.Duration
+	for _, d := range s.PerThread {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TotalWork returns the summed per-thread clip time.
+func (s *Stats) TotalWork() time.Duration {
+	var t time.Duration
+	for _, d := range s.PerThread {
+		t += d
+	}
+	return t
+}
+
+// ModelledParallel returns the modelled end-to-end duration with p
+// concurrent workers: sort + partition + per-slab work scheduled greedily
+// over p workers + merge. This is what Figures 8/10/12 plot when the host
+// has fewer physical cores than threads.
+func (s *Stats) ModelledParallel(p int) time.Duration {
+	if p <= 0 {
+		p = 1
+	}
+	// Greedy longest-processing-time schedule of slab times onto p workers.
+	loads := make([]time.Duration, p)
+	for _, d := range s.PerThread {
+		mi := 0
+		for i := 1; i < p; i++ {
+			if loads[i] < loads[mi] {
+				mi = i
+			}
+		}
+		loads[mi] += d
+	}
+	var mx time.Duration
+	for _, l := range loads {
+		if l > mx {
+			mx = l
+		}
+	}
+	return s.Sort + s.Partition + mx + s.Merge
+}
+
+// engineClip dispatches to the selected sequential engine. snapEps is the
+// vertex grid shared by every slab of one run, so that seam geometry
+// produced independently by different workers quantizes identically.
+func engineClip(e Engine, a, b geom.Polygon, op Op, snapEps float64) geom.Polygon {
+	switch e {
+	case EngineVatti:
+		return vatti.Clip(a, b, op)
+	default:
+		return overlay.Clip(a, b, op, overlay.Options{Parallelism: 1, SnapEps: snapEps})
+	}
+}
+
+// snapEpsFor picks the shared vertex grid for one clipping run.
+func snapEpsFor(a, b geom.Polygon) float64 {
+	box := a.BBox().Union(b.BBox())
+	m := box.Width()
+	if h := box.Height(); h > m {
+		m = h
+	}
+	// The grid must also respect the absolute coordinate magnitude:
+	// float64 cannot address (and int64 cannot index) positions finer than
+	// a relative 1e-12 of the largest coordinate.
+	for _, v := range [...]float64{box.MinX, box.MaxX, box.MinY, box.MaxY} {
+		if a := math.Abs(v); a > m && !math.IsInf(a, 0) {
+			m = a
+		}
+	}
+	if m <= 0 {
+		m = 1
+	}
+	// Round the grid up to a power of two so quantizing binary-representable
+	// coordinates (integers, halves, ...) is exact and outputs stay clean.
+	return math.Pow(2, math.Ceil(math.Log2(m*1e-12)))
+}
+
+// ClipPair clips two polygons with the multi-threaded Algorithm 2.
+func ClipPair(a, b geom.Polygon, op Op, opt Options) (geom.Polygon, *Stats) {
+	p := opt.Threads
+	if p <= 0 {
+		p = par.DefaultParallelism()
+	}
+	nslabs := opt.Slabs
+	if nslabs <= 0 {
+		nslabs = p
+	}
+	st := &Stats{}
+	snapEps := snapEpsFor(a, b)
+
+	// Step 1–2: event schedule.
+	t0 := time.Now()
+	ys := eventYs(a, b)
+	st.Sort = time.Since(t0)
+	if len(ys) == 0 {
+		return engineClip(opt.Engine, a, b, op, snapEps), st
+	}
+
+	bounds := slabBoundaries(ys, nslabs, opt.Partition)
+	ns := len(bounds) - 1
+	st.Slabs = ns
+	if ns <= 1 {
+		t1 := time.Now()
+		out := engineClip(opt.Engine, a, b, op, snapEps)
+		st.Clip = time.Since(t1)
+		st.PerThread = []time.Duration{st.Clip}
+		return out, st
+	}
+
+	// Steps 4–5: rectangle-clip both operands into each slab.
+	t1 := time.Now()
+	subA := make([]geom.Polygon, ns)
+	subB := make([]geom.Polygon, ns)
+	par.ForEachItem(ns, p, func(i int) {
+		subA[i] = bandclip.Clip(a, bounds[i], bounds[i+1])
+		subB[i] = bandclip.Clip(b, bounds[i], bounds[i+1])
+	})
+	st.Partition = time.Since(t1)
+
+	// Step 6: per-slab sequential clipping.
+	t2 := time.Now()
+	partial := make([]geom.Polygon, ns)
+	st.PerThread = make([]time.Duration, ns)
+	par.ForEachItem(ns, p, func(i int) {
+		ts := time.Now()
+		partial[i] = engineClip(opt.Engine, subA[i], subB[i], op, snapEps)
+		st.PerThread[i] = time.Since(ts)
+	})
+	st.Clip = time.Since(t2)
+
+	// Step 8: merge.
+	t3 := time.Now()
+	out := mergePartials(partial, bounds, opt.Merge, snapEps, p)
+	st.Merge = time.Since(t3)
+	return out, st
+}
+
+// eventYs returns the sorted distinct vertex y-coordinates of both operands.
+func eventYs(a, b geom.Polygon) []float64 {
+	var ys []float64
+	for _, poly := range []geom.Polygon{a, b} {
+		for _, r := range poly {
+			for _, pt := range r {
+				ys = append(ys, pt.Y)
+			}
+		}
+	}
+	if len(ys) == 0 {
+		return nil
+	}
+	par.Sort(ys, func(x, y float64) bool { return x < y }, 0)
+	out := ys[:0]
+	for i, v := range ys {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// slabBoundaries picks ns+1 boundaries over the sorted event ys.
+func slabBoundaries(ys []float64, p int, mode PartitionMode) []float64 {
+	lo, hi := ys[0], ys[len(ys)-1]
+	if lo == hi || p < 1 {
+		return []float64{lo, hi}
+	}
+	bounds := make([]float64, 0, p+1)
+	bounds = append(bounds, lo)
+	for i := 1; i < p; i++ {
+		var v float64
+		if mode == PartitionUniform {
+			v = lo + (hi-lo)*float64(i)/float64(p)
+		} else {
+			v = ys[len(ys)*i/p]
+		}
+		if v > bounds[len(bounds)-1] && v < hi {
+			bounds = append(bounds, v)
+		}
+	}
+	bounds = append(bounds, hi)
+	return bounds
+}

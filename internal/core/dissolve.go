@@ -1,0 +1,64 @@
+package core
+
+import (
+	"polyclip/internal/geom"
+	"polyclip/internal/overlay"
+	"polyclip/internal/par"
+)
+
+// UnionAll dissolves a set of polygons into their union using the paper's
+// Fig. 6 reduction tree: the polygons sit at the leaves of a complete
+// binary tree, each internal node is the union of its children, and every
+// level's unions run concurrently — O(log n) rounds of pairwise unions.
+// This is the GIS "dissolve" operation.
+func UnionAll(polys []geom.Polygon, p int) geom.Polygon {
+	if p <= 0 {
+		p = par.DefaultParallelism()
+	}
+	cur := make([]geom.Polygon, 0, len(polys))
+	for _, q := range polys {
+		if q.NumVertices() > 0 {
+			cur = append(cur, q)
+		}
+	}
+	for len(cur) > 1 {
+		next := make([]geom.Polygon, (len(cur)+1)/2)
+		par.ForEachItem(len(next), p, func(i int) {
+			if 2*i+1 < len(cur) {
+				next[i] = overlay.Clip(cur[2*i], cur[2*i+1], overlay.Union, overlay.Options{Parallelism: 1})
+			} else {
+				next[i] = cur[2*i]
+			}
+		})
+		cur = next
+	}
+	if len(cur) == 0 {
+		return nil
+	}
+	return cur[0]
+}
+
+// IntersectAll intersects a set of polygons by the same reduction tree:
+// the common region of all operands (empty when any pair is disjoint).
+func IntersectAll(polys []geom.Polygon, p int) geom.Polygon {
+	if p <= 0 {
+		p = par.DefaultParallelism()
+	}
+	if len(polys) == 0 {
+		return nil
+	}
+	cur := make([]geom.Polygon, len(polys))
+	copy(cur, polys)
+	for len(cur) > 1 {
+		next := make([]geom.Polygon, (len(cur)+1)/2)
+		par.ForEachItem(len(next), p, func(i int) {
+			if 2*i+1 < len(cur) {
+				next[i] = overlay.Clip(cur[2*i], cur[2*i+1], overlay.Intersection, overlay.Options{Parallelism: 1})
+			} else {
+				next[i] = cur[2*i]
+			}
+		})
+		cur = next
+	}
+	return cur[0]
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"polyclip/internal/geom"
+	"polyclip/internal/overlay"
+	"polyclip/internal/par"
+	"polyclip/internal/ringstitch"
+	"polyclip/internal/segtree"
+)
+
+// mergePartials combines per-slab outputs (paper Step 8 / Fig. 6).
+func mergePartials(partial []geom.Polygon, bounds []float64, mode MergeMode, snapEps float64, p int) geom.Polygon {
+	switch mode {
+	case MergeConcat:
+		var out geom.Polygon
+		for _, pp := range partial {
+			out = append(out, pp...)
+		}
+		return out
+	case MergeUnionTree:
+		return mergeUnionTree(partial, p)
+	default:
+		return mergeStitch(partial, bounds, snapEps, p)
+	}
+}
+
+// snapMergePoint quantizes a point onto the shared grid.
+func snapMergePoint(pt geom.Point, inv, eps float64) geom.Point {
+	return geom.Point{
+		X: math.Round(pt.X*inv) * eps,
+		Y: math.Round(pt.Y*inv) * eps,
+	}
+}
+
+// mergeStitch erases the horizontal seam edges along interior slab
+// boundaries: partial outputs are decomposed into directed edges (interior
+// on the left, which both engines guarantee), the horizontal edges lying on
+// an interior boundary are net-cancelled with an interval sweep per
+// boundary (adjacent slabs contribute opposite directions over shared
+// intervals), and the surviving edges are restitched into rings.
+func mergeStitch(partial []geom.Polygon, bounds []float64, snapEps float64, p int) geom.Polygon {
+	inv := 1 / snapEps
+	interior := make(map[float64]int, len(bounds))
+	for i := 1; i < len(bounds)-1; i++ {
+		interior[math.Round(bounds[i]*inv)*snapEps] = i
+	}
+
+	type capIv struct {
+		x0, x1 float64
+		dir    int // +1 traversed +x (interior above), -1 traversed -x
+	}
+	capsPer := make([][]capIv, len(bounds))
+	var rest []ringstitch.Edge
+	total := 0
+	for _, pp := range partial {
+		for _, r := range pp {
+			total += len(r)
+		}
+	}
+	rest = make([]ringstitch.Edge, 0, total)
+
+	for _, pp := range partial {
+		for _, r := range pp {
+			n := len(r)
+			for i := 0; i < n; i++ {
+				a := snapMergePoint(r[i], inv, snapEps)
+				b := snapMergePoint(r[(i+1)%n], inv, snapEps)
+				if a == b {
+					continue
+				}
+				if a.Y == b.Y {
+					if bi, ok := interior[a.Y]; ok {
+						if a.X < b.X {
+							capsPer[bi] = append(capsPer[bi], capIv{a.X, b.X, +1})
+						} else {
+							capsPer[bi] = append(capsPer[bi], capIv{b.X, a.X, -1})
+						}
+						continue
+					}
+				}
+				rest = append(rest, ringstitch.Edge{From: a, To: b})
+			}
+		}
+	}
+
+	// Net interval sweep per interior boundary, in parallel.
+	results := make([][]ringstitch.Edge, len(bounds))
+	par.ForEachItem(len(bounds), p, func(bi int) {
+		ivs := capsPer[bi]
+		if len(ivs) == 0 {
+			return
+		}
+		y := snapMergePoint(geom.Point{X: 0, Y: bounds[bi]}, inv, snapEps).Y
+		xs := make([]float64, 0, 2*len(ivs))
+		for _, iv := range ivs {
+			xs = append(xs, iv.x0, iv.x1)
+		}
+		xs = segtree.Dedup(xs)
+		net := make([]int, len(xs)-1)
+		for _, iv := range ivs {
+			a := sort.SearchFloat64s(xs, iv.x0)
+			b := sort.SearchFloat64s(xs, iv.x1)
+			for i := a; i < b; i++ {
+				net[i] += iv.dir
+			}
+		}
+		var out []ringstitch.Edge
+		for i, nv := range net {
+			a := geom.Point{X: xs[i], Y: y}
+			b := geom.Point{X: xs[i+1], Y: y}
+			for ; nv > 0; nv-- {
+				out = append(out, ringstitch.Edge{From: a, To: b})
+			}
+			for ; nv < 0; nv++ {
+				out = append(out, ringstitch.Edge{From: b, To: a})
+			}
+		}
+		results[bi] = out
+	})
+	for _, es := range results {
+		rest = append(rest, es...)
+	}
+	return ringstitch.Stitch(rest)
+}
+
+// mergeUnionTree performs the literal Fig. 6 reduction: adjacent partial
+// outputs are pairwise unioned, log(slabs) rounds, each round's unions
+// running concurrently.
+func mergeUnionTree(partial []geom.Polygon, p int) geom.Polygon {
+	cur := make([]geom.Polygon, len(partial))
+	copy(cur, partial)
+	for len(cur) > 1 {
+		next := make([]geom.Polygon, (len(cur)+1)/2)
+		par.ForEachItem(len(next), p, func(i int) {
+			if 2*i+1 < len(cur) {
+				next[i] = overlay.Clip(cur[2*i], cur[2*i+1], overlay.Union, overlay.Options{Parallelism: 1})
+			} else {
+				next[i] = cur[2*i]
+			}
+		})
+		cur = next
+	}
+	if len(cur) == 0 {
+		return nil
+	}
+	return cur[0]
+}

@@ -1,0 +1,283 @@
+// Package data synthesizes the workloads of the paper's §V evaluation:
+// the synthetic subject/clip polygon pairs of §V-A, and GIS-like feature
+// layers that stand in for the real shapefiles of Table III (which are not
+// redistributable here). The layer synthesizer matches the published
+// statistics — feature count, edge count, mean/stddev edge length, and the
+// clustered spatial distribution with a heavy-tailed feature-size
+// distribution that produces the load imbalance driving the paper's
+// Figures 10–11.
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"polyclip/internal/geom"
+)
+
+// Descriptor describes a dataset in the shape of the paper's Table III.
+type Descriptor struct {
+	Name        string
+	Polys       int     // feature count
+	Edges       int     // total edge count
+	MeanEdgeLen float64 // average edge length (degrees in the paper)
+	SDEdgeLen   float64 // standard deviation of edge length
+	Extent      geom.BBox
+	Clusters    int // number of spatial clusters features group into
+}
+
+// TableIII reproduces the paper's Table III dataset descriptions. Datasets
+// 1–2 are the Natural Earth shapefiles; 3–4 the GML telecom data.
+var TableIII = []Descriptor{
+	{
+		Name: "ne_10m_urban_areas", Polys: 11878, Edges: 1153348,
+		MeanEdgeLen: 0.00415, SDEdgeLen: 0.0101,
+		Extent:   geom.BBox{MinX: -180, MinY: -60, MaxX: 180, MaxY: 75},
+		Clusters: 400,
+	},
+	{
+		Name: "ne_10m_states_provinces", Polys: 4647, Edges: 1332830,
+		MeanEdgeLen: 0.0282, SDEdgeLen: 0.0546,
+		Extent:   geom.BBox{MinX: -180, MinY: -60, MaxX: 180, MaxY: 75},
+		Clusters: 150,
+	},
+	{
+		Name: "GML_data_1", Polys: 101860, Edges: 4488080,
+		MeanEdgeLen: 0.002, SDEdgeLen: 0.004,
+		Extent:   geom.BBox{MinX: -100, MinY: 25, MaxX: -70, MaxY: 50},
+		Clusters: 800,
+	},
+	{
+		Name: "GML_data_2", Polys: 128682, Edges: 6262858,
+		MeanEdgeLen: 0.002, SDEdgeLen: 0.004,
+		Extent:   geom.BBox{MinX: -100, MinY: 25, MaxX: -70, MaxY: 50},
+		Clusters: 800,
+	},
+}
+
+// DescriptorByName returns the Table III descriptor with the given name.
+func DescriptorByName(name string) (Descriptor, bool) {
+	for _, d := range TableIII {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+// JitteredPolygon returns a simple polygon with n edges: a star-shaped ring
+// around c whose radius varies smoothly between rMin and rMax as a sum of
+// low-frequency harmonics. Star-shaped rings never self-intersect, so the
+// output is a simple polygon of arbitrary concavity — the shape class of
+// the paper's synthetic §V-A generator. The smooth radius keeps edges
+// local (each edge's y-extent is O(perimeter/n)), which is what real
+// boundaries look like and what keeps the scanbeam population k' linear.
+func JitteredPolygon(rng *rand.Rand, c geom.Point, rMin, rMax float64, n int) geom.Ring {
+	if n < 3 {
+		n = 3
+	}
+	base := rng.Float64() * 2 * math.Pi
+	const harmonics = 6
+	amp := make([]float64, harmonics)
+	phase := make([]float64, harmonics)
+	var total float64
+	for h := range amp {
+		amp[h] = rng.Float64() / float64(h+1)
+		phase[h] = rng.Float64() * 2 * math.Pi
+		total += amp[h]
+	}
+	mid := (rMin + rMax) / 2
+	span := (rMax - rMin) / 2
+	ring := make(geom.Ring, n)
+	for i := 0; i < n; i++ {
+		a := base + 2*math.Pi*float64(i)/float64(n)
+		wob := 0.0
+		for h := range amp {
+			wob += amp[h] * math.Sin(float64(h+1)*a+phase[h])
+		}
+		r := mid
+		if total > 0 {
+			r += span * wob / total
+		}
+		ring[i] = geom.Point{X: c.X + r*math.Cos(a), Y: c.Y + r*math.Sin(a)}
+	}
+	return ring
+}
+
+// SyntheticPair generates the §V-A workload: an overlapping subject and
+// clip polygon with nSubject and nClip edges respectively. The polygons
+// overlap over roughly half their extent so the number of edge
+// intersections grows with the edge counts.
+func SyntheticPair(seed int64, nSubject, nClip int) (subject, clip geom.Polygon) {
+	rng := rand.New(rand.NewSource(seed))
+	subject = geom.Polygon{JitteredPolygon(rng, geom.Point{X: 0, Y: 0}, 80, 100, nSubject)}
+	clip = geom.Polygon{JitteredPolygon(rng, geom.Point{X: 60, Y: 25}, 80, 100, nClip)}
+	return subject, clip
+}
+
+// SelfIntersectingPair generates a pair of self-intersecting polygons (the
+// paper's Fig. 2 input class): star polygons whose edges connect every
+// second vertex.
+func SelfIntersectingPair(seed int64, n int) (subject, clip geom.Polygon) {
+	rng := rand.New(rand.NewSource(seed))
+	if n < 5 {
+		n = 5
+	}
+	if n%2 == 0 {
+		n++
+	}
+	subject = geom.Polygon{geom.SelfIntersectingStar(geom.Point{X: 0, Y: 0}, 100, n, rng.Float64())}
+	clip = geom.Polygon{geom.SelfIntersectingStar(geom.Point{X: 40, Y: 20}, 100, n, rng.Float64())}
+	return subject, clip
+}
+
+// Layer synthesizes a GIS feature layer matching the descriptor's
+// statistics, scaled by scale in (0, 1]: feature and edge counts are
+// multiplied by scale, the spatial statistics are preserved. Features are
+// simple polygons grouped into clusters; per-feature edge counts follow a
+// heavy-tailed distribution (most features small, a few very large —
+// exactly the mix behind the paper's Fig. 11 load imbalance), and feature
+// radii are chosen so edge lengths match the descriptor's mean.
+func Layer(d Descriptor, scale float64, seed int64) []geom.Polygon {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nPolys := int(float64(d.Polys) * scale)
+	if nPolys < 1 {
+		nPolys = 1
+	}
+	targetEdges := int(float64(d.Edges) * scale)
+	meanEdges := float64(targetEdges) / float64(nPolys)
+
+	// Cluster centers over the extent. The cluster count scales with the
+	// data so feature density per cluster — and with it the number of
+	// overlapping feature pairs per feature — stays constant across scales,
+	// as it does when sub-sampling a real map.
+	nc := int(float64(d.Clusters)*scale + 0.5)
+	if nc < 1 {
+		nc = 1
+	}
+	centers := make([]geom.Point, nc)
+	for i := range centers {
+		centers[i] = geom.Point{
+			X: d.Extent.MinX + rng.Float64()*d.Extent.Width(),
+			Y: d.Extent.MinY + rng.Float64()*d.Extent.Height(),
+		}
+	}
+	clusterRadius := math.Max(d.Extent.Width(), d.Extent.Height()) / math.Sqrt(float64(nc)) / 2
+
+	layer := make([]geom.Polygon, 0, nPolys)
+	edgesLeft := targetEdges
+	for i := 0; i < nPolys; i++ {
+		// Heavy-tailed edge count: lognormal around the mean.
+		n := int(meanEdges * math.Exp(rng.NormFloat64()*1.0-0.5))
+		if n < 4 {
+			n = 4
+		}
+		if rem := nPolys - i - 1; rem == 0 {
+			n = edgesLeft
+			if n < 4 {
+				n = 4
+			}
+		} else if n > edgesLeft-4*rem {
+			n = edgesLeft - 4*rem
+			if n < 4 {
+				n = 4
+			}
+		}
+		edgesLeft -= n
+
+		// Draw the target edge length (lognormal, bounded spread), build a
+		// unit-scale ring, then rescale it so its measured mean edge length
+		// hits the target exactly.
+		targetLen := d.MeanEdgeLen * math.Exp(rng.NormFloat64()*0.5)
+
+		c := centers[rng.Intn(nc)]
+		c.X += rng.NormFloat64() * clusterRadius
+		c.Y += rng.NormFloat64() * clusterRadius
+		ring := JitteredPolygon(rng, c, 0.7, 1.3, n)
+		var per float64
+		for _, e := range ring.Edges(nil) {
+			per += e.Len()
+		}
+		mean := per / float64(n)
+		if mean > 0 {
+			ring = ring.ScaleAbout(c, targetLen/mean)
+		}
+		layer = append(layer, geom.Polygon{ring})
+	}
+	return layer
+}
+
+// LayerStats summarizes a synthesized layer for Table III verification.
+type LayerStats struct {
+	Polys       int
+	Edges       int
+	MeanEdgeLen float64
+	SDEdgeLen   float64
+}
+
+// Stats computes the Table III statistics of a layer.
+func Stats(layer []geom.Polygon) LayerStats {
+	var st LayerStats
+	st.Polys = len(layer)
+	var sum, sum2 float64
+	for _, f := range layer {
+		for _, e := range f.Edges() {
+			st.Edges++
+			l := e.Len()
+			sum += l
+			sum2 += l * l
+		}
+	}
+	if st.Edges > 0 {
+		st.MeanEdgeLen = sum / float64(st.Edges)
+		v := sum2/float64(st.Edges) - st.MeanEdgeLen*st.MeanEdgeLen
+		if v > 0 {
+			st.SDEdgeLen = math.Sqrt(v)
+		}
+	}
+	return st
+}
+
+// OverlapLayer derives a second layer that overlaps the first: every
+// feature of src is translated by a fraction of its own size and lightly
+// reshaped, giving the dense pairwise overlaps of a map-overlay workload
+// (e.g. clipping urban areas against administrative boundaries).
+func OverlapLayer(src []geom.Polygon, seed int64) []geom.Polygon {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Polygon, 0, len(src))
+	for _, f := range src {
+		box := f.BBox()
+		dx := (rng.Float64() - 0.5) * box.Width()
+		dy := (rng.Float64() - 0.5) * box.Height()
+		out = append(out, f.Translate(dx, dy))
+	}
+	return out
+}
+
+// InterleavedPair generates two n-edge polygons around a common center
+// whose boundaries oscillate across each other, producing Θ(n) edge
+// intersections — the high-k regime of the paper's output-sensitivity
+// analysis (two polygons can cross O(nm) times).
+func InterleavedPair(seed int64, n int) (subject, clip geom.Polygon) {
+	rng := rand.New(rand.NewSource(seed))
+	if n < 8 {
+		n = 8
+	}
+	c := geom.Point{X: 0, Y: 0}
+	phase := rng.Float64()
+	mk := func(flip float64) geom.Ring {
+		ring := make(geom.Ring, n)
+		for i := 0; i < n; i++ {
+			a := phase + 2*math.Pi*float64(i)/float64(n)
+			// Radius oscillates every few vertices; the two polygons
+			// oscillate in antiphase so their boundaries interleave.
+			r := 100 + 12*math.Sin(float64(i)*math.Pi/3+flip)
+			ring[i] = geom.Point{X: c.X + r*math.Cos(a), Y: c.Y + r*math.Sin(a)}
+		}
+		return ring
+	}
+	return geom.Polygon{mk(0)}, geom.Polygon{mk(math.Pi)}
+}

@@ -1,0 +1,189 @@
+// Package geojson reads and writes polygons in GeoJSON (RFC 7946) — the
+// other interchange format, besides WKT, that GIS toolchains exchanging
+// overlay results expect. Supported geometries: Polygon, MultiPolygon, and
+// Feature/FeatureCollection wrappers for whole layers.
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"polyclip/internal/geom"
+)
+
+// geometry is the wire form of a GeoJSON geometry object.
+type geometry struct {
+	Type        string          `json:"type"`
+	Coordinates json.RawMessage `json:"coordinates"`
+}
+
+type feature struct {
+	Type       string         `json:"type"`
+	Geometry   *geometry      `json:"geometry"`
+	Properties map[string]any `json:"properties,omitempty"`
+}
+
+type featureCollection struct {
+	Type     string    `json:"type"`
+	Features []feature `json:"features"`
+}
+
+// Marshal renders a polygon as a GeoJSON geometry: Polygon when it has one
+// ring, MultiPolygon otherwise (each ring as its own polygon — the even-odd
+// model does not track hole nesting).
+func Marshal(p geom.Polygon) ([]byte, error) {
+	if len(p) == 1 {
+		return json.Marshal(geometry{
+			Type:        "Polygon",
+			Coordinates: mustRaw(ringsToCoords(p)),
+		})
+	}
+	multi := make([][][][2]float64, len(p))
+	for i, r := range p {
+		multi[i] = ringsToCoords(geom.Polygon{r})
+	}
+	return json.Marshal(geometry{Type: "MultiPolygon", Coordinates: mustRaw(multi)})
+}
+
+// MarshalPolygon renders all rings as one GeoJSON Polygon (first ring
+// shell, rest holes) for consumers that understand ring nesting.
+func MarshalPolygon(p geom.Polygon) ([]byte, error) {
+	return json.Marshal(geometry{Type: "Polygon", Coordinates: mustRaw(ringsToCoords(p))})
+}
+
+// MarshalLayer renders a feature layer as a FeatureCollection.
+func MarshalLayer(layer []geom.Polygon) ([]byte, error) {
+	fc := featureCollection{Type: "FeatureCollection"}
+	for _, f := range layer {
+		raw, err := Marshal(f)
+		if err != nil {
+			return nil, err
+		}
+		var g geometry
+		if err := json.Unmarshal(raw, &g); err != nil {
+			return nil, err
+		}
+		fc.Features = append(fc.Features, feature{Type: "Feature", Geometry: &g})
+	}
+	return json.Marshal(fc)
+}
+
+// Unmarshal parses a GeoJSON Polygon, MultiPolygon, or Feature wrapping
+// one of those.
+func Unmarshal(data []byte) (geom.Polygon, error) {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	switch probe.Type {
+	case "Polygon", "MultiPolygon":
+		var g geometry
+		if err := json.Unmarshal(data, &g); err != nil {
+			return nil, fmt.Errorf("geojson: %w", err)
+		}
+		return geometryToPolygon(&g)
+	case "Feature":
+		var f feature
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("geojson: %w", err)
+		}
+		if f.Geometry == nil {
+			return nil, nil
+		}
+		return geometryToPolygon(f.Geometry)
+	default:
+		return nil, fmt.Errorf("geojson: unsupported type %q", probe.Type)
+	}
+}
+
+// UnmarshalLayer parses a FeatureCollection into a feature layer.
+func UnmarshalLayer(data []byte) ([]geom.Polygon, error) {
+	var fc featureCollection
+	if err := json.Unmarshal(data, &fc); err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	if fc.Type != "FeatureCollection" {
+		return nil, fmt.Errorf("geojson: expected FeatureCollection, got %q", fc.Type)
+	}
+	var out []geom.Polygon
+	for i, f := range fc.Features {
+		if f.Geometry == nil {
+			continue
+		}
+		p, err := geometryToPolygon(f.Geometry)
+		if err != nil {
+			return nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func geometryToPolygon(g *geometry) (geom.Polygon, error) {
+	switch g.Type {
+	case "Polygon":
+		var coords [][][2]float64
+		if err := json.Unmarshal(g.Coordinates, &coords); err != nil {
+			return nil, err
+		}
+		return coordsToRings(coords), nil
+	case "MultiPolygon":
+		var multi [][][][2]float64
+		if err := json.Unmarshal(g.Coordinates, &multi); err != nil {
+			return nil, err
+		}
+		var out geom.Polygon
+		for _, coords := range multi {
+			out = append(out, coordsToRings(coords)...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unsupported geometry %q", g.Type)
+	}
+}
+
+// ringsToCoords converts rings to GeoJSON linear rings (closed: first
+// position repeated at the end, per RFC 7946).
+func ringsToCoords(p geom.Polygon) [][][2]float64 {
+	out := make([][][2]float64, len(p))
+	for i, r := range p {
+		ring := make([][2]float64, 0, len(r)+1)
+		for _, pt := range r {
+			ring = append(ring, [2]float64{pt.X, pt.Y})
+		}
+		if len(r) > 0 {
+			ring = append(ring, [2]float64{r[0].X, r[0].Y})
+		}
+		out[i] = ring
+	}
+	return out
+}
+
+// coordsToRings converts GeoJSON linear rings, dropping the closing
+// duplicate and degenerate rings.
+func coordsToRings(coords [][][2]float64) geom.Polygon {
+	var out geom.Polygon
+	for _, rc := range coords {
+		ring := make(geom.Ring, 0, len(rc))
+		for _, c := range rc {
+			ring = append(ring, geom.Point{X: c[0], Y: c[1]})
+		}
+		if len(ring) > 1 && ring[0] == ring[len(ring)-1] {
+			ring = ring[:len(ring)-1]
+		}
+		if len(ring) >= 3 {
+			out = append(out, ring)
+		}
+	}
+	return out
+}
+
+func mustRaw(v any) json.RawMessage {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // [2]float64 nests cannot fail to marshal
+	}
+	return raw
+}

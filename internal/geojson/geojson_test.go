@@ -1,0 +1,127 @@
+package geojson
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"polyclip/internal/geom"
+)
+
+func TestRoundTripPolygon(t *testing.T) {
+	p := geom.RectPolygon(0, 0, 4, 4)
+	raw, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"Polygon"`) {
+		t.Errorf("raw = %s", raw)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Area()-16) > 1e-12 {
+		t.Errorf("area = %v", got.Area())
+	}
+}
+
+func TestRoundTripMultiPolygon(t *testing.T) {
+	p := geom.Polygon{geom.Rect(0, 0, 1, 1), geom.Rect(3, 3, 5, 5)}
+	raw, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"MultiPolygon"`) {
+		t.Errorf("raw = %s", raw)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || math.Abs(got.Area()-5) > 1e-12 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestPolygonWithHoleNesting(t *testing.T) {
+	hole := geom.Rect(1, 1, 2, 2)
+	hole.Reverse()
+	p := geom.Polygon{geom.Rect(0, 0, 4, 4), hole}
+	raw, err := MarshalPolygon(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || math.Abs(got.Area()-15) > 1e-12 {
+		t.Errorf("got rings=%d area=%v", len(got), got.Area())
+	}
+}
+
+func TestFeatureWrapper(t *testing.T) {
+	raw := []byte(`{"type":"Feature","properties":{"name":"x"},"geometry":{"type":"Polygon","coordinates":[[[0,0],[2,0],[2,2],[0,2],[0,0]]]}}`)
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Area()-4) > 1e-12 {
+		t.Errorf("area = %v", got.Area())
+	}
+	// Null geometry feature.
+	got, err = Unmarshal([]byte(`{"type":"Feature","geometry":null}`))
+	if err != nil || got != nil {
+		t.Errorf("null geometry: %v %v", got, err)
+	}
+}
+
+func TestLayerRoundTrip(t *testing.T) {
+	layer := []geom.Polygon{
+		geom.RectPolygon(0, 0, 1, 1),
+		{geom.Rect(2, 2, 3, 3), geom.Rect(5, 5, 6, 6)},
+	}
+	raw, err := MarshalLayer(layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalLayer(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("features = %d", len(got))
+	}
+	if math.Abs(got[1].Area()-2) > 1e-12 {
+		t.Errorf("feature 1 area = %v", got[1].Area())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := [][]byte{
+		[]byte(`not json`),
+		[]byte(`{"type":"Point","coordinates":[0,0]}`),
+		[]byte(`{"type":"Polygon","coordinates":"nope"}`),
+		[]byte(`{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[1,1]]}}`),
+	}
+	for _, raw := range bad {
+		if _, err := Unmarshal(raw); err == nil {
+			t.Errorf("%s: expected error", raw)
+		}
+	}
+	if _, err := UnmarshalLayer([]byte(`{"type":"Polygon","coordinates":[]}`)); err == nil {
+		t.Error("UnmarshalLayer should reject non-collections")
+	}
+}
+
+func TestDegenerateRingsDropped(t *testing.T) {
+	raw := []byte(`{"type":"Polygon","coordinates":[[[0,0],[1,0],[0,0]],[[0,0],[4,0],[4,4],[0,4],[0,0]]]}`)
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || math.Abs(got.Area()-16) > 1e-12 {
+		t.Errorf("got %v", got)
+	}
+}

@@ -1,0 +1,216 @@
+package geom
+
+import (
+	"math"
+	"math/big"
+)
+
+// Orientation classifies the turn a->b->c.
+type Orientation int
+
+// Turn directions returned by Orient.
+const (
+	Clockwise        Orientation = -1
+	Collinear        Orientation = 0
+	CounterClockwise Orientation = 1
+)
+
+// orientErrBound is the coefficient of the forward error bound for the
+// floating-point orientation determinant (cf. Shewchuk's robust predicates:
+// (3ε + 16ε²) with ε = 2⁻⁵³; we round up generously).
+const orientErrBound = 3.3306690738754716e-16
+
+// Orient returns the orientation of the triple (a, b, c): CounterClockwise
+// when c lies to the left of the directed line a->b, Clockwise when it lies
+// to the right, Collinear when the three points are collinear.
+//
+// The determinant is evaluated in float64 and, when its magnitude falls
+// under the forward error bound, re-evaluated exactly with math/big so that
+// the returned sign is always correct.
+func Orient(a, b, c Point) Orientation {
+	detLeft := (a.X - c.X) * (b.Y - c.Y)
+	detRight := (a.Y - c.Y) * (b.X - c.X)
+	det := detLeft - detRight
+
+	var detSum float64
+	switch {
+	case detLeft > 0:
+		if detRight <= 0 {
+			return signOf(det)
+		}
+		detSum = detLeft + detRight
+	case detLeft < 0:
+		if detRight >= 0 {
+			return signOf(det)
+		}
+		detSum = -detLeft - detRight
+	default:
+		return signOf(det)
+	}
+	if math.Abs(det) >= orientErrBound*detSum {
+		return signOf(det)
+	}
+	return orientExact(a, b, c)
+}
+
+func signOf(x float64) Orientation {
+	switch {
+	case x > 0:
+		return CounterClockwise
+	case x < 0:
+		return Clockwise
+	default:
+		return Collinear
+	}
+}
+
+// orientExact computes the orientation determinant exactly with big.Rat.
+func orientExact(a, b, c Point) Orientation {
+	ax, ay := new(big.Rat).SetFloat64(a.X), new(big.Rat).SetFloat64(a.Y)
+	bx, by := new(big.Rat).SetFloat64(b.X), new(big.Rat).SetFloat64(b.Y)
+	cx, cy := new(big.Rat).SetFloat64(c.X), new(big.Rat).SetFloat64(c.Y)
+
+	l := new(big.Rat).Mul(new(big.Rat).Sub(ax, cx), new(big.Rat).Sub(by, cy))
+	r := new(big.Rat).Mul(new(big.Rat).Sub(ay, cy), new(big.Rat).Sub(bx, cx))
+	return Orientation(l.Cmp(r))
+}
+
+// IntersectKind describes the result of intersecting two segments.
+type IntersectKind int
+
+// Possible segment intersection kinds.
+const (
+	// Disjoint: the segments have no common point.
+	Disjoint IntersectKind = iota
+	// Crossing: the segments have exactly one common point (which may be an
+	// endpoint of one or both).
+	Crossing
+	// Overlapping: the segments are collinear and share a sub-segment of
+	// positive length.
+	Overlapping
+)
+
+// SegIntersection computes the intersection of two segments.
+//
+// For Crossing it returns the single intersection point in p0.
+// For Overlapping it returns the shared sub-segment endpoints in p0, p1.
+func SegIntersection(s, t Segment) (kind IntersectKind, p0, p1 Point) {
+	d1 := Orient(t.A, t.B, s.A)
+	d2 := Orient(t.A, t.B, s.B)
+	d3 := Orient(s.A, s.B, t.A)
+	d4 := Orient(s.A, s.B, t.B)
+
+	if d1 != d2 && d3 != d4 && (d1 != Collinear || d2 != Collinear) {
+		// Proper or endpoint crossing.
+		return Crossing, lineIntersectionPoint(s, t), Point{}
+	}
+
+	// Collinear handling.
+	if d1 == Collinear && d2 == Collinear && d3 == Collinear && d4 == Collinear {
+		// All four points on one line: project on dominant axis.
+		lo1, hi1 := orderOnLine(s)
+		lo2, hi2 := orderOnLine(t)
+		lo := maxPtOnLine(lo1, lo2)
+		hi := minPtOnLine(hi1, hi2)
+		switch cmpOnLine(lo, hi) {
+		case -1:
+			return Overlapping, lo, hi
+		case 0:
+			return Crossing, lo, Point{}
+		default:
+			return Disjoint, Point{}, Point{}
+		}
+	}
+
+	// Touching cases: an endpoint of one lies on the other.
+	if d1 == Collinear && onSegment(t, s.A) {
+		return Crossing, s.A, Point{}
+	}
+	if d2 == Collinear && onSegment(t, s.B) {
+		return Crossing, s.B, Point{}
+	}
+	if d3 == Collinear && onSegment(s, t.A) {
+		return Crossing, t.A, Point{}
+	}
+	if d4 == Collinear && onSegment(s, t.B) {
+		return Crossing, t.B, Point{}
+	}
+	return Disjoint, Point{}, Point{}
+}
+
+// lineIntersectionPoint returns the intersection point of the supporting
+// lines of two properly crossing segments, with endpoint snapping: if the
+// intersection coincides with an endpoint it returns that endpoint exactly,
+// keeping downstream vertex matching watertight.
+func lineIntersectionPoint(s, t Segment) Point {
+	r := s.B.Sub(s.A)
+	d := t.B.Sub(t.A)
+	denom := r.Cross(d)
+	if denom == 0 {
+		// Nearly parallel after the orientation tests passed: fall back to an
+		// endpoint that lies on the other segment.
+		return s.A
+	}
+	u := t.A.Sub(s.A).Cross(d) / denom
+	p := Point{s.A.X + u*r.X, s.A.Y + u*r.Y}
+	for _, e := range [...]Point{s.A, s.B, t.A, t.B} {
+		if p.Near(e, Eps) {
+			return e
+		}
+	}
+	return p
+}
+
+// onSegment reports whether p (known collinear with s) lies within s's box.
+func onSegment(s Segment, p Point) bool {
+	lox, hix := s.XSpan()
+	loy, hiy := s.YSpan()
+	return p.X >= lox && p.X <= hix && p.Y >= loy && p.Y <= hiy
+}
+
+func cmpOnLine(a, b Point) int {
+	if a.X != b.X {
+		if a.X < b.X {
+			return -1
+		}
+		return 1
+	}
+	if a.Y != b.Y {
+		if a.Y < b.Y {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+func orderOnLine(s Segment) (lo, hi Point) {
+	if cmpOnLine(s.A, s.B) <= 0 {
+		return s.A, s.B
+	}
+	return s.B, s.A
+}
+
+func maxPtOnLine(a, b Point) Point {
+	if cmpOnLine(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+func minPtOnLine(a, b Point) Point {
+	if cmpOnLine(a, b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// SegmentsCross reports whether the interiors of s and t share exactly one
+// point (a proper crossing, excluding endpoint touches and overlaps).
+func SegmentsCross(s, t Segment) bool {
+	d1 := Orient(t.A, t.B, s.A)
+	d2 := Orient(t.A, t.B, s.B)
+	d3 := Orient(s.A, s.B, t.A)
+	d4 := Orient(s.A, s.B, t.B)
+	return d1*d2 < 0 && d3*d4 < 0
+}

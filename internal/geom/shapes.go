@@ -1,0 +1,84 @@
+package geom
+
+import "math"
+
+// Rect returns a rectangle ring with counter-clockwise orientation.
+func Rect(minX, minY, maxX, maxY float64) Ring {
+	return Ring{{minX, minY}, {maxX, minY}, {maxX, maxY}, {minX, maxY}}
+}
+
+// RectPolygon returns a single-ring rectangle polygon.
+func RectPolygon(minX, minY, maxX, maxY float64) Polygon {
+	return Polygon{Rect(minX, minY, maxX, maxY)}
+}
+
+// RegularPolygon returns a counter-clockwise regular n-gon centred at c with
+// circumradius r, with the first vertex rotated by phase radians.
+func RegularPolygon(c Point, r float64, n int, phase float64) Ring {
+	ring := make(Ring, n)
+	for i := 0; i < n; i++ {
+		a := phase + 2*math.Pi*float64(i)/float64(n)
+		ring[i] = Point{c.X + r*math.Cos(a), c.Y + r*math.Sin(a)}
+	}
+	return ring
+}
+
+// Star returns a non-self-intersecting star with 2n vertices alternating
+// between outer radius rOut and inner radius rIn.
+func Star(c Point, rOut, rIn float64, n int, phase float64) Ring {
+	ring := make(Ring, 2*n)
+	for i := 0; i < 2*n; i++ {
+		r := rOut
+		if i%2 == 1 {
+			r = rIn
+		}
+		a := phase + math.Pi*float64(i)/float64(n)
+		ring[i] = Point{c.X + r*math.Cos(a), c.Y + r*math.Sin(a)}
+	}
+	return ring
+}
+
+// SelfIntersectingStar returns the classic pentagram-style self-intersecting
+// star: n outer vertices connected with stride 2, so consecutive edges cross.
+// n must be odd and >= 5 for the edges to self-intersect.
+func SelfIntersectingStar(c Point, r float64, n int, phase float64) Ring {
+	ring := make(Ring, n)
+	for i := 0; i < n; i++ {
+		a := phase + 2*math.Pi*float64(i*2%n)/float64(n)
+		ring[i] = Point{c.X + r*math.Cos(a), c.Y + r*math.Sin(a)}
+	}
+	return ring
+}
+
+// BowTie returns the canonical self-intersecting quadrilateral (two triangles
+// meeting at the crossing of its diagonally connected vertices).
+func BowTie(minX, minY, maxX, maxY float64) Ring {
+	return Ring{{minX, minY}, {maxX, maxY}, {maxX, minY}, {minX, maxY}}
+}
+
+// Translate returns the ring translated by (dx, dy).
+func (r Ring) Translate(dx, dy float64) Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[i] = Point{p.X + dx, p.Y + dy}
+	}
+	return out
+}
+
+// Translate returns the polygon translated by (dx, dy).
+func (p Polygon) Translate(dx, dy float64) Polygon {
+	out := make(Polygon, len(p))
+	for i, r := range p {
+		out[i] = r.Translate(dx, dy)
+	}
+	return out
+}
+
+// ScaleAbout returns the ring scaled by f about point c.
+func (r Ring) ScaleAbout(c Point, f float64) Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[i] = Point{c.X + (p.X-c.X)*f, c.Y + (p.Y-c.Y)*f}
+	}
+	return out
+}

@@ -1,0 +1,469 @@
+// Package isect finds pairs of intersecting segments among a set of polygon
+// edges. Three finders are provided:
+//
+//   - BruteForcePairs: O(n²) oracle used by tests.
+//   - GridPairs: uniform-grid candidate filter (the practical engine's
+//     default for irregular GIS data).
+//   - ScanbeamPairs: the paper's output-sensitive method — decompose the
+//     y-range into scanbeams with a segment tree, order the edges of each
+//     beam along the bottom and top scanlines, and report the inversions
+//     between the two orders with the extended mergesort of Lemma 4; each
+//     inversion is a candidate crossing pair (Fig. 4).
+//
+// All finders return verified pairs: candidates are confirmed with the exact
+// segment intersection predicate before being reported. Horizontal edges
+// span no scanbeam and must be removed by the caller (the paper's
+// perturbation preprocessing, geom.PerturbHorizontals).
+package isect
+
+import (
+	"sort"
+	"sync"
+
+	"polyclip/internal/geom"
+	"polyclip/internal/par"
+	"polyclip/internal/segtree"
+)
+
+// Pair is an unordered pair of edge indices with I < J that intersect in at
+// least one point.
+type Pair struct {
+	I, J int32
+}
+
+func canon(i, j int32) Pair {
+	if i > j {
+		i, j = j, i
+	}
+	return Pair{i, j}
+}
+
+// verify reports whether edges i and j actually intersect.
+func verify(edges []geom.Segment, i, j int32) bool {
+	kind, _, _ := geom.SegIntersection(edges[i], edges[j])
+	return kind != geom.Disjoint
+}
+
+// dedupPairs sorts and removes duplicates in place.
+func dedupPairs(ps []Pair) []Pair {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].I != ps[b].I {
+			return ps[a].I < ps[b].I
+		}
+		return ps[a].J < ps[b].J
+	})
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BruteForcePairs returns every intersecting pair by testing all O(n²)
+// candidates. Test oracle; do not use on large inputs.
+func BruteForcePairs(edges []geom.Segment) []Pair {
+	var out []Pair
+	for i := int32(0); i < int32(len(edges)); i++ {
+		for j := i + 1; j < int32(len(edges)); j++ {
+			if verify(edges, i, j) {
+				out = append(out, Pair{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// GridPairs returns every intersecting pair using a uniform grid candidate
+// filter with parallelism p. Each edge is binned into the grid cells its
+// bounding box covers; edges sharing a cell are candidates.
+func GridPairs(edges []geom.Segment, p int) []Pair {
+	n := len(edges)
+	if n < 2 {
+		return nil
+	}
+	box := geom.EmptyBBox()
+	var totalLen float64
+	for _, e := range edges {
+		box.Extend(e.A)
+		box.Extend(e.B)
+		totalLen += e.Len()
+	}
+	w, h := box.Width(), box.Height()
+	if w == 0 {
+		w = 1
+	}
+	if h == 0 {
+		h = 1
+	}
+	// Aim for cells around the average edge extent, bounded so the grid
+	// stays O(n) cells.
+	cell := totalLen / float64(n)
+	if cell <= 0 {
+		cell = w / 64
+	}
+	maxCells := 4 * n
+	for int(w/cell+1)*int(h/cell+1) > maxCells {
+		cell *= 1.5
+	}
+	nx := int(w/cell) + 1
+	ny := int(h/cell) + 1
+
+	cellOf := func(x, y float64) (int, int) {
+		cx := int((x - box.MinX) / cell)
+		cy := int((y - box.MinY) / cell)
+		if cx >= nx {
+			cx = nx - 1
+		}
+		if cy >= ny {
+			cy = ny - 1
+		}
+		if cx < 0 {
+			cx = 0
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		return cx, cy
+	}
+
+	// Bin edges per cell (two-phase: count then fill, like the rest of the
+	// repository's output-sensitive allocations).
+	counts := make([]int32, nx*ny)
+	eachCell := func(e geom.Segment, fn func(c int)) {
+		lox, hix := e.XSpan()
+		loy, hiy := e.YSpan()
+		cx0, cy0 := cellOf(lox, loy)
+		cx1, cy1 := cellOf(hix, hiy)
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				fn(cy*nx + cx)
+			}
+		}
+	}
+	for _, e := range edges {
+		eachCell(e, func(c int) { counts[c]++ })
+	}
+	bins := make([][]int32, nx*ny)
+	for c, cnt := range counts {
+		if cnt > 0 {
+			bins[c] = make([]int32, 0, cnt)
+		}
+	}
+	for i, e := range edges {
+		eachCell(e, func(c int) { bins[c] = append(bins[c], int32(i)) })
+	}
+
+	// Candidate pairs per cell, verified, with bbox prefilter; collected
+	// per-goroutine and merged.
+	results := make([][]Pair, par.DefaultParallelism())
+	if p > 0 {
+		results = make([][]Pair, p)
+	}
+	var mu sync.Mutex
+	next := 0
+	par.ForEach(len(bins), p, func(lo, hi int) {
+		mu.Lock()
+		slot := next
+		next++
+		mu.Unlock()
+		var local []Pair
+		for c := lo; c < hi; c++ {
+			ids := bins[c]
+			for a := 0; a < len(ids); a++ {
+				for b := a + 1; b < len(ids); b++ {
+					i, j := ids[a], ids[b]
+					ei, ej := edges[i], edges[j]
+					lox1, hix1 := ei.XSpan()
+					lox2, hix2 := ej.XSpan()
+					if hix1 < lox2 || hix2 < lox1 {
+						continue
+					}
+					loy1, hiy1 := ei.YSpan()
+					loy2, hiy2 := ej.YSpan()
+					if hiy1 < loy2 || hiy2 < loy1 {
+						continue
+					}
+					if verify(edges, i, j) {
+						local = append(local, canon(i, j))
+					}
+				}
+			}
+		}
+		results[slot] = local
+	})
+	var all []Pair
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	return dedupPairs(all)
+}
+
+// ScanbeamPairs returns every intersecting pair using the paper's
+// scanbeam-inversion method with parallelism p. Cost is
+// O((n + k') log(n + k')) plus the inversion output k, matching the paper's
+// output-sensitive bound.
+func ScanbeamPairs(edges []geom.Segment, p int) []Pair {
+	n := len(edges)
+	if n < 2 {
+		return nil
+	}
+	// Step 1: event schedule = distinct endpoint y's.
+	ys := make([]float64, 0, 2*n)
+	for _, e := range edges {
+		lo, hi := e.YSpan()
+		if lo == hi {
+			continue // horizontal: spans no beam; caller must perturb
+		}
+		ys = append(ys, lo, hi)
+	}
+	ys = segtree.Dedup(ys)
+	if len(ys) < 2 {
+		return nil
+	}
+
+	// Step 2: populate scanbeams via the segment tree.
+	tree := segtree.Build(ys, n, func(i int32) segtree.Interval {
+		lo, hi := edges[i].YSpan()
+		return segtree.Interval{Lo: lo, Hi: hi}
+	}, p)
+	beams, _ := tree.AllBeams(p)
+
+	// Step 3: per beam, inversions between bottom and top scanline orders.
+	m := len(beams)
+	perBeam := make([][]Pair, m)
+	par.ForEachItem(m, p, func(b int) {
+		perBeam[b] = beamPairs(edges, beams[b], ys[b], ys[b+1])
+	})
+
+	// Scanline events: pairs that meet exactly on a beam boundary (shared
+	// vertices between an edge ending and an edge starting there, or
+	// T-junctions on the scanline) occupy disjoint beams and produce no
+	// inversion; catch them by merging the top order of the beam below with
+	// the bottom order of the beam above and scanning equal-x runs. This is
+	// the local-minima/maxima event processing of Vatti's sweep.
+	boundary := make([][]Pair, m+1)
+	par.ForEachItem(m-1, p, func(bi int) {
+		b := bi + 1 // boundary between beams b-1 and b
+		y := ys[b]
+		type ex struct {
+			x  float64
+			id int32
+		}
+		var at []ex
+		for _, id := range beams[b-1] {
+			at = append(at, ex{edges[id].XAtY(y), id})
+		}
+		for _, id := range beams[b] {
+			at = append(at, ex{edges[id].XAtY(y), id})
+		}
+		sort.Slice(at, func(a, c int) bool { return at[a].x < at[c].x })
+		var out []Pair
+		for a := 0; a < len(at); {
+			c := a + 1
+			for c < len(at) && at[c].x-at[a].x <= geom.Eps {
+				c++
+			}
+			for u := a; u < c; u++ {
+				for v := u + 1; v < c; v++ {
+					if at[u].id != at[v].id && verify(edges, at[u].id, at[v].id) {
+						out = append(out, canon(at[u].id, at[v].id))
+					}
+				}
+			}
+			a = c
+		}
+		boundary[b] = out
+	})
+
+	var all []Pair
+	for _, ps := range perBeam {
+		all = append(all, ps...)
+	}
+	for _, ps := range boundary {
+		all = append(all, ps...)
+	}
+	return dedupPairs(all)
+}
+
+// beamPairs finds intersecting pairs among the edges spanning one scanbeam
+// [yb, yt] by counting and reporting inversions between the bottom and top
+// orders (Lemma 4), plus equal-x runs to catch pairs that touch exactly on a
+// scanline.
+func beamPairs(edges []geom.Segment, ids []int32, yb, yt float64) []Pair {
+	k := len(ids)
+	if k < 2 {
+		return nil
+	}
+	xb := make([]float64, k)
+	xt := make([]float64, k)
+	for i, id := range ids {
+		xb[i] = edges[id].XAtY(yb)
+		xt[i] = edges[id].XAtY(yt)
+	}
+	// Order along the bottom scanline, ties broken along the top so that
+	// edges sharing a bottom endpoint are not spuriously inverted.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if xb[ia] != xb[ib] {
+			return xb[ia] < xb[ib]
+		}
+		return xt[ia] < xt[ib]
+	})
+	// Rank of each edge along the top scanline (ties by bottom order keep
+	// non-crossing pairs uninverted).
+	topOrder := make([]int, k)
+	copy(topOrder, order)
+	sort.Slice(topOrder, func(a, b int) bool {
+		ia, ib := topOrder[a], topOrder[b]
+		if xt[ia] != xt[ib] {
+			return xt[ia] < xt[ib]
+		}
+		return xb[ia] < xb[ib]
+	})
+	rank := make([]int, k)
+	for r, i := range topOrder {
+		rank[i] = r
+	}
+	seq := make([]int, k)
+	for pos, i := range order {
+		seq[pos] = rank[i]
+	}
+
+	var out []Pair
+	for _, ip := range par.ReportInversions(seq) {
+		i, j := ids[order[ip.I]], ids[order[ip.J]]
+		if verify(edges, i, j) {
+			out = append(out, canon(i, j))
+		}
+	}
+
+	// Equal-x runs on either scanline: candidates that touch on a scanline
+	// (shared endpoints, tangencies) produce no inversion but may still
+	// intersect.
+	addRuns := func(xs []float64, ord []int) {
+		for a := 0; a < k; {
+			b := a + 1
+			for b < k && xs[ord[b]] == xs[ord[a]] {
+				b++
+			}
+			for u := a; u < b; u++ {
+				for v := u + 1; v < b; v++ {
+					i, j := ids[ord[u]], ids[ord[v]]
+					if verify(edges, i, j) {
+						out = append(out, canon(i, j))
+					}
+				}
+			}
+			a = b
+		}
+	}
+	addRuns(xb, order)
+	addRuns(xt, topOrder)
+	return out
+}
+
+// CountCrossings returns the total number of inversions over all scanbeams —
+// the paper's a-priori estimate of k used for output-sensitive processor
+// allocation — without reporting the pairs.
+func CountCrossings(edges []geom.Segment, p int) int64 {
+	n := len(edges)
+	if n < 2 {
+		return 0
+	}
+	ys := make([]float64, 0, 2*n)
+	for _, e := range edges {
+		lo, hi := e.YSpan()
+		if lo == hi {
+			continue
+		}
+		ys = append(ys, lo, hi)
+	}
+	ys = segtree.Dedup(ys)
+	if len(ys) < 2 {
+		return 0
+	}
+	tree := segtree.Build(ys, n, func(i int32) segtree.Interval {
+		lo, hi := edges[i].YSpan()
+		return segtree.Interval{Lo: lo, Hi: hi}
+	}, p)
+	beams, _ := tree.AllBeams(p)
+
+	counts := make([]int64, len(beams))
+	par.ForEachItem(len(beams), p, func(b int) {
+		ids := beams[b]
+		k := len(ids)
+		if k < 2 {
+			return
+		}
+		yb, yt := ys[b], ys[b+1]
+		xb := make([]float64, k)
+		xt := make([]float64, k)
+		for i, id := range ids {
+			xb[i] = edges[id].XAtY(yb)
+			xt[i] = edges[id].XAtY(yt)
+		}
+		order := make([]int, k)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ia, ib := order[a], order[b]
+			if xb[ia] != xb[ib] {
+				return xb[ia] < xb[ib]
+			}
+			return xt[ia] < xt[ib]
+		})
+		topOrder := make([]int, k)
+		copy(topOrder, order)
+		sort.Slice(topOrder, func(a, b int) bool {
+			ia, ib := topOrder[a], topOrder[b]
+			if xt[ia] != xt[ib] {
+				return xt[ia] < xt[ib]
+			}
+			return xb[ia] < xb[ib]
+		})
+		rank := make([]int, k)
+		for r, i := range topOrder {
+			rank[i] = r
+		}
+		seq := make([]int, k)
+		for pos, i := range order {
+			seq[pos] = rank[i]
+		}
+		counts[b] = par.CountInversions(seq)
+	})
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Points returns the distinct intersection points for the given verified
+// pairs, including both endpoints of collinear overlaps.
+func Points(edges []geom.Segment, pairs []Pair) []geom.Point {
+	var pts []geom.Point
+	for _, pr := range pairs {
+		kind, p0, p1 := geom.SegIntersection(edges[pr.I], edges[pr.J])
+		switch kind {
+		case geom.Crossing:
+			pts = append(pts, p0)
+		case geom.Overlapping:
+			pts = append(pts, p0, p1)
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].Less(pts[b]) })
+	out := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

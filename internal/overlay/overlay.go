@@ -1,0 +1,283 @@
+// Package overlay implements general polygon clipping — intersection, union,
+// difference and symmetric difference of arbitrary (concave,
+// multi-contour, self-intersecting) polygons under the even-odd fill rule.
+//
+// The engine is the practical realization of the paper's Algorithm 1:
+//
+//  1. Find all pairs of intersecting edges (the paper's Step 3.2 / Lemma 4;
+//     finder selectable: uniform grid or the scanbeam-inversion method).
+//  2. Subdivide every edge at its intersection points so that no two edges
+//     cross except at shared endpoints (the k and k' vertices).
+//  3. Decompose the plane into scanbeams and classify every sub-edge with
+//     the parity prefix sums of Lemmas 1–3: which polygons is the region
+//     immediately left of the edge inside of?
+//  4. Select the edges where the clipping operation changes value across
+//     the edge (Lemma 2's contributing edges), direct them so the result
+//     interior lies on their left, and stitch them into output rings
+//     (Step 3.4/Step 4's merge).
+//
+// Every stage but stitching runs in parallel over its natural units (pairs,
+// edges, scanbeams) with configurable parallelism.
+package overlay
+
+import (
+	"math"
+	"polyclip/internal/geom"
+	"polyclip/internal/isect"
+	"polyclip/internal/par"
+)
+
+// Op is a boolean clipping operation.
+type Op uint8
+
+// Supported clipping operations.
+const (
+	Intersection Op = iota // subject ∩ clip
+	Union                  // subject ∪ clip
+	Difference             // subject − clip
+	Xor                    // symmetric difference
+)
+
+// String returns the operation name.
+func (op Op) String() string {
+	switch op {
+	case Intersection:
+		return "intersection"
+	case Union:
+		return "union"
+	case Difference:
+		return "difference"
+	case Xor:
+		return "xor"
+	default:
+		return "unknown"
+	}
+}
+
+// Eval applies the operation to the two insideness flags.
+func (op Op) Eval(inSubject, inClip bool) bool {
+	switch op {
+	case Intersection:
+		return inSubject && inClip
+	case Union:
+		return inSubject || inClip
+	case Difference:
+		return inSubject && !inClip
+	case Xor:
+		return inSubject != inClip
+	default:
+		return false
+	}
+}
+
+// Finder selects the intersection-finding strategy.
+type Finder uint8
+
+// Available finders.
+const (
+	FinderGrid     Finder = iota // uniform-grid candidate filter (default)
+	FinderScanbeam               // the paper's scanbeam + inversion counting
+	FinderSweep                  // Bentley–Ottmann plane sweep (the paper's [2])
+	FinderBrute                  // O(n²); tests only
+)
+
+// FillRule decides which winding numbers count as interior.
+type FillRule uint8
+
+// Supported fill rules.
+const (
+	// EvenOdd (default): a point is inside when its crossing parity is odd
+	// — the rule of GPC and of the paper's self-intersection handling.
+	EvenOdd FillRule = iota
+	// NonZero: a point is inside when its winding number is nonzero — the
+	// rule of most vector graphics models.
+	NonZero
+)
+
+// Inside applies the rule to a winding number.
+func (r FillRule) Inside(wind int16) bool {
+	if r == NonZero {
+		return wind != 0
+	}
+	return wind&1 != 0
+}
+
+// Options configures a clipping run.
+type Options struct {
+	// Parallelism is the number of concurrent workers; <= 0 means
+	// GOMAXPROCS.
+	Parallelism int
+	// Finder selects the pair-finding strategy.
+	Finder Finder
+	// SnapEps is the vertex-identification tolerance; <= 0 means geom.Eps
+	// scaled to the input magnitude.
+	SnapEps float64
+	// Rule is the fill rule for interpreting both operands and the result.
+	Rule FillRule
+}
+
+// Clip computes `subject op clip` and returns the result polygon. The
+// result's outer rings are counter-clockwise and its holes clockwise; an
+// empty polygon is returned when the result is empty.
+func Clip(subject, clip geom.Polygon, op Op, opt Options) geom.Polygon {
+	p := opt.Parallelism
+	if p <= 0 {
+		p = par.DefaultParallelism()
+	}
+
+	subject = sanitize(subject)
+	clip = sanitize(clip)
+
+	eps := opt.SnapEps
+	if eps <= 0 {
+		eps = snapEpsFor(subject, clip)
+	}
+
+	// Fast paths: empty operands. Operands passed through are resolved so
+	// the output convention (simple rings, CCW outers / CW holes) holds
+	// even for self-intersecting inputs.
+	if subject.NumVertices() == 0 {
+		switch op {
+		case Union, Xor:
+			return resolveSelf(clip, eps, opt.Rule, p)
+		default:
+			return nil
+		}
+	}
+	if clip.NumVertices() == 0 {
+		switch op {
+		case Intersection:
+			return nil
+		default:
+			return resolveSelf(subject, eps, opt.Rule, p)
+		}
+	}
+	// Disjoint bounding boxes: no geometry interacts.
+	if !subject.BBox().Intersects(clip.BBox()) {
+		switch op {
+		case Intersection:
+			return nil
+		case Difference:
+			return resolveSelf(subject, eps, opt.Rule, p)
+		default:
+			out := resolveSelf(subject, eps, opt.Rule, p)
+			return append(out, resolveSelf(clip, eps, opt.Rule, p)...)
+		}
+	}
+
+	// Snap the inputs onto the eps grid before pair finding, so that
+	// nearly-coincident geometry (e.g. seam caps produced by slab
+	// decomposition in different workers) becomes exactly coincident and its
+	// overlaps are detected and cancelled, instead of being merged silently
+	// after the intersection pass.
+	subject = snapPolygon(subject, eps)
+	clip = snapPolygon(clip, eps)
+
+	edges, owners := gatherEdges(subject, clip)
+
+	finder := opt.Finder
+	if finder == FinderScanbeam && (hasHorizontalEdge(subject) || hasHorizontalEdge(clip)) {
+		// The scanbeam finder cannot see horizontal edges (they span no
+		// beam); the grid finder handles them natively.
+		finder = FinderGrid
+	}
+	var pairs []isect.Pair
+	switch finder {
+	case FinderScanbeam:
+		pairs = isect.ScanbeamPairs(edges, p)
+	case FinderSweep:
+		pairs = isect.SweepPairs(edges)
+	case FinderBrute:
+		pairs = isect.BruteForcePairs(edges)
+	default:
+		pairs = isect.GridPairs(edges, p)
+	}
+
+	segs := subdivide(edges, owners, pairs, eps, p)
+	classify(segs, p)
+	dirs := selectEdges(segs, op, opt.Rule, p)
+	return stitch(segs, dirs)
+}
+
+// resolveSelf runs a single polygon through the pipeline (as subject with
+// an empty clip under Xor, whose value is simply "inside subject"),
+// resolving self-intersections and normalizing ring orientations.
+func resolveSelf(poly geom.Polygon, eps float64, rule FillRule, p int) geom.Polygon {
+	if poly.NumVertices() == 0 {
+		return nil
+	}
+	poly = snapPolygon(poly, eps)
+	edges, owners := gatherEdges(poly, nil)
+	pairs := isect.GridPairs(edges, p)
+	segs := subdivide(edges, owners, pairs, eps, p)
+	classify(segs, p)
+	dirs := selectEdges(segs, Xor, rule, p)
+	return stitch(segs, dirs)
+}
+
+// sanitize removes degenerate rings.
+func sanitize(poly geom.Polygon) geom.Polygon {
+	var out geom.Polygon
+	for _, r := range poly {
+		if len(r) >= 3 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// hasHorizontalEdge reports whether any ring has an edge parallel to the
+// x-axis.
+func hasHorizontalEdge(poly geom.Polygon) bool {
+	for _, r := range poly {
+		for i := range r {
+			j := (i + 1) % len(r)
+			if r[i].Y == r[j].Y && r[i] != r[j] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// snapEpsFor picks a vertex-snapping tolerance proportional to the data
+// magnitude.
+func snapEpsFor(a, b geom.Polygon) float64 {
+	box := a.BBox().Union(b.BBox())
+	m := box.Width()
+	if h := box.Height(); h > m {
+		m = h
+	}
+	// The grid must also respect the absolute coordinate magnitude:
+	// float64 cannot address (and int64 cannot index) positions finer than
+	// a relative 1e-12 of the largest coordinate.
+	for _, v := range [...]float64{box.MinX, box.MaxX, box.MinY, box.MaxY} {
+		if a := math.Abs(v); a > m && !math.IsInf(a, 0) {
+			m = a
+		}
+	}
+	if m <= 0 {
+		m = 1
+	}
+	// Round the grid up to a power of two so quantizing binary-representable
+	// coordinates (integers, halves, ...) is exact and outputs stay clean.
+	return math.Pow(2, math.Ceil(math.Log2(m*1e-12)))
+}
+
+// gatherEdges flattens both polygons into one edge list with an owner tag
+// per edge (0 = subject, 1 = clip).
+func gatherEdges(subject, clip geom.Polygon) ([]geom.Segment, []uint8) {
+	var edges []geom.Segment
+	for _, r := range subject {
+		edges = r.Edges(edges)
+	}
+	nSub := len(edges)
+	for _, r := range clip {
+		edges = r.Edges(edges)
+	}
+	owners := make([]uint8, len(edges))
+	for i := nSub; i < len(edges); i++ {
+		owners[i] = 1
+	}
+	return edges, owners
+}

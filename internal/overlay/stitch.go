@@ -1,0 +1,20 @@
+package overlay
+
+import (
+	"polyclip/internal/geom"
+	"polyclip/internal/ringstitch"
+)
+
+// stitch links the directed contributing edges into closed output rings via
+// the shared interior-on-the-left ring stitcher.
+func stitch(segs []*useg, dirs []dirEdge) geom.Polygon {
+	_ = segs
+	if len(dirs) == 0 {
+		return nil
+	}
+	es := make([]ringstitch.Edge, len(dirs))
+	for i, d := range dirs {
+		es[i] = ringstitch.Edge{From: d.from, To: d.to}
+	}
+	return ringstitch.Stitch(es)
+}

@@ -1,0 +1,205 @@
+package overlay
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"polyclip/internal/geom"
+	"polyclip/internal/isect"
+	"polyclip/internal/par"
+)
+
+// useg is a unique geometric sub-segment of the subdivided arrangement,
+// with its multiplicity per input polygon. Its endpoints are snapped, Lo is
+// the endpoint with smaller (Y, X), and after subdivision no two usegs
+// intersect except at shared endpoints.
+type useg struct {
+	Lo, Hi geom.Point
+	// WindSub/WindClip are the signed winding contributions of the
+	// subject/clip copies of this segment: each original piece directed
+	// Hi->Lo (downward, or -x for horizontals) adds +1, each directed
+	// Lo->Hi adds -1, so that walking left-to-right (or top-to-bottom
+	// across a horizontal) the region winding number changes by this
+	// amount. Parity of the winding equals parity of the copy count, so
+	// the even-odd rule needs no separate field.
+	WindSub  int16
+	WindClip int16
+	// WindSubL/WindClipL are the winding numbers of the region on the
+	// segment's left side (smaller x; above, for horizontals).
+	WindSubL  int16
+	WindClipL int16
+	classify  bool // set once classified
+}
+
+// mulSub reports the even-odd parity of the subject copies.
+func (u *useg) mulSub() bool { return u.WindSub&1 != 0 }
+
+func (u *useg) mulClip() bool { return u.WindClip&1 != 0 }
+
+// segKey identifies a useg by its snapped endpoints.
+type segKey struct {
+	ax, ay, bx, by int64
+}
+
+// snapper canonicalizes coordinates onto an eps grid so that vertices
+// produced independently by different edges compare equal.
+type snapper struct {
+	inv float64
+	eps float64
+}
+
+func newSnapper(eps float64) snapper { return snapper{inv: 1 / eps, eps: eps} }
+
+func (s snapper) coord(v float64) int64 { return int64(math.Round(v * s.inv)) }
+
+func (s snapper) point(p geom.Point) geom.Point {
+	return geom.Point{
+		X: float64(s.coord(p.X)) * s.eps,
+		Y: float64(s.coord(p.Y)) * s.eps,
+	}
+}
+
+// snapPolygon canonicalizes every vertex onto the eps grid, dropping rings
+// that degenerate below three distinct vertices.
+func snapPolygon(p geom.Polygon, eps float64) geom.Polygon {
+	sn := newSnapper(eps)
+	out := make(geom.Polygon, 0, len(p))
+	for _, r := range p {
+		nr := make(geom.Ring, 0, len(r))
+		for _, pt := range r {
+			q := sn.point(pt)
+			if len(nr) == 0 || q != nr[len(nr)-1] {
+				nr = append(nr, q)
+			}
+		}
+		for len(nr) > 1 && nr[len(nr)-1] == nr[0] {
+			nr = nr[:len(nr)-1]
+		}
+		if len(nr) >= 3 {
+			out = append(out, nr)
+		}
+	}
+	return out
+}
+
+// subdivide splits every edge at its intersection points with other edges
+// and merges geometric duplicates, returning the unique sub-segments with
+// multiplicities. The split-point computation is parallel over pairs; the
+// merge is a sequential hash fold (cheap relative to intersection finding).
+func subdivide(edges []geom.Segment, owners []uint8, pairs []isect.Pair, eps float64, p int) []*useg {
+	sn := newSnapper(eps)
+
+	// Intersection points per edge, computed in parallel over pairs into
+	// per-worker buckets then folded.
+	type split struct {
+		edge int32
+		pt   geom.Point
+	}
+	nw := p
+	if nw < 1 {
+		nw = 1
+	}
+	buckets := make([][]split, nw)
+	var next int
+	var mu sync.Mutex
+	par.ForEach(len(pairs), p, func(lo, hi int) {
+		mu.Lock()
+		slot := next
+		next++
+		mu.Unlock()
+		local := buckets[slot]
+		for idx := lo; idx < hi; idx++ {
+			pr := pairs[idx]
+			kind, p0, p1 := geom.SegIntersection(edges[pr.I], edges[pr.J])
+			switch kind {
+			case geom.Crossing:
+				local = append(local, split{pr.I, p0}, split{pr.J, p0})
+			case geom.Overlapping:
+				local = append(local,
+					split{pr.I, p0}, split{pr.I, p1},
+					split{pr.J, p0}, split{pr.J, p1})
+			}
+		}
+		buckets[slot] = local
+	})
+
+	splitsPerEdge := make(map[int32][]geom.Point)
+	for _, b := range buckets {
+		for _, s := range b {
+			splitsPerEdge[s.edge] = append(splitsPerEdge[s.edge], s.pt)
+		}
+	}
+
+	// Subdivide each edge and fold into the unique-segment table.
+	table := make(map[segKey]*useg, len(edges)*2)
+	addPiece := func(a, b geom.Point, owner uint8) {
+		a, b = sn.point(a), sn.point(b)
+		if a == b {
+			return
+		}
+		var dir int16 = -1 // original piece directed Lo->Hi
+		if b.Less(a) {
+			a, b = b, a
+			dir = +1 // original piece directed Hi->Lo
+		}
+		key := segKey{sn.coord(a.X), sn.coord(a.Y), sn.coord(b.X), sn.coord(b.Y)}
+		u := table[key]
+		if u == nil {
+			u = &useg{Lo: a, Hi: b}
+			table[key] = u
+		}
+		if owner == 0 {
+			u.WindSub += dir
+		} else {
+			u.WindClip += dir
+		}
+	}
+
+	for i, e := range edges {
+		pts := splitsPerEdge[int32(i)]
+		if len(pts) == 0 {
+			addPiece(e.A, e.B, owners[i])
+			continue
+		}
+		// Order split points along the edge by parameter t.
+		d := e.B.Sub(e.A)
+		l2 := d.Dot(d)
+		tOf := func(q geom.Point) float64 {
+			if l2 == 0 {
+				return 0
+			}
+			return q.Sub(e.A).Dot(d) / l2
+		}
+		sort.Slice(pts, func(a, b int) bool { return tOf(pts[a]) < tOf(pts[b]) })
+		prev := e.A
+		for _, q := range pts {
+			t := tOf(q)
+			if t <= 0 || t >= 1 {
+				continue
+			}
+			addPiece(prev, q, owners[i])
+			prev = q
+		}
+		addPiece(prev, e.B, owners[i])
+	}
+
+	segs := make([]*useg, 0, len(table))
+	for _, u := range table {
+		if u.WindSub == 0 && u.WindClip == 0 {
+			// Opposite-direction copies cancel under both fill rules. A
+			// segment with even copy count but nonzero winding (e.g. two
+			// same-direction copies) is kept: it matters under NonZero.
+			continue
+		}
+		segs = append(segs, u)
+	}
+	// Deterministic order for reproducible stitching.
+	sort.Slice(segs, func(a, b int) bool {
+		if segs[a].Lo != segs[b].Lo {
+			return segs[a].Lo.Less(segs[b].Lo)
+		}
+		return segs[a].Hi.Less(segs[b].Hi)
+	})
+	return segs
+}

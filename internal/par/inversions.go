@@ -1,0 +1,331 @@
+package par
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// InvPair is one inversion: positions i < j in the input slice whose values
+// are out of order (xs[i] > xs[j]). When the input is the bottom-scanline
+// order of edges ranked by their top-scanline order, each inversion is a
+// pair of edges that cross inside the scanbeam (paper Fig. 4).
+type InvPair struct {
+	I, J int
+}
+
+// CountInversions returns the number of inversions in xs using the extended
+// mergesort of Lemma 4: O(n log n) time, O(n) extra space. xs is not
+// modified. Equal values are not inversions.
+func CountInversions(xs []int) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	work := make([]int, n)
+	copy(work, xs)
+	buf := make([]int, n)
+	return countRec(work, buf)
+}
+
+func countRec(xs, buf []int) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := countRec(xs[:mid], buf[:mid]) + countRec(xs[mid:], buf[mid:])
+	inv += countMerge(xs[:mid], xs[mid:], buf)
+	copy(xs, buf)
+	return inv
+}
+
+// countMerge merges sorted halves a, b into dst, returning the number of
+// cross inversions: whenever b[j] is emitted while elements of a remain,
+// every remaining a element forms an inversion with it (the paper's
+// "A_l[i] > A_r[j] ⇒ A_l[i..mid] all exceed A_r[j]" argument).
+func countMerge(a, b, dst []int) int64 {
+	var inv int64
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j] < a[i] {
+			inv += int64(len(a) - i)
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	for i < len(a) {
+		dst[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		dst[k] = b[j]
+		j++
+		k++
+	}
+	return inv
+}
+
+// ParallelCountInversions counts inversions with parallelism p: the two
+// halves are counted concurrently (recursively), cross inversions during the
+// final merges sequentially per node. Work O(n log n), depth O(log² n).
+func ParallelCountInversions(xs []int, p int) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	p = normalize(p)
+	work := make([]int, n)
+	copy(work, xs)
+	buf := make([]int, n)
+	return countRecPar(work, buf, depthFor(p))
+}
+
+func countRecPar(xs, buf []int, depth int) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	if depth == 0 || n <= sortSerialCutoff {
+		return countRec(xs, buf)
+	}
+	mid := n / 2
+	var left int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		left = countRecPar(xs[:mid], buf[:mid], depth-1)
+	}()
+	right := countRecPar(xs[mid:], buf[mid:], depth-1)
+	wg.Wait()
+	inv := left + right + countMerge(xs[:mid], xs[mid:], buf)
+	copy(xs, buf)
+	return inv
+}
+
+// ReportInversions returns every inversion of xs as an (i, j) position pair
+// with i < j and xs[i] > xs[j]. Following the paper's two-phase,
+// output-sensitive scheme, it first counts the inversions, allocates exactly
+// that much space ("allocating K additional processors"), then re-runs the
+// merge recording each pair. The output order groups pairs by merge node,
+// as in Table I.
+func ReportInversions(xs []int) []InvPair {
+	total := CountInversions(xs)
+	out := make([]InvPair, 0, total)
+
+	n := len(xs)
+	if n < 2 {
+		return out
+	}
+	// Track original positions through the sort.
+	type elem struct{ v, pos int }
+	work := make([]elem, n)
+	for i, v := range xs {
+		work[i] = elem{v, i}
+	}
+	buf := make([]elem, n)
+
+	var rec func(w, b []elem)
+	rec = func(w, b []elem) {
+		if len(w) < 2 {
+			return
+		}
+		mid := len(w) / 2
+		rec(w[:mid], b[:mid])
+		rec(w[mid:], b[mid:])
+		a, r := w[:mid], w[mid:]
+		i, j, k := 0, 0, 0
+		for i < len(a) && j < len(r) {
+			if r[j].v < a[i].v {
+				for t := i; t < len(a); t++ {
+					pi, pj := a[t].pos, r[j].pos
+					if pi > pj {
+						pi, pj = pj, pi
+					}
+					out = append(out, InvPair{pi, pj})
+				}
+				b[k] = r[j]
+				j++
+			} else {
+				b[k] = a[i]
+				i++
+			}
+			k++
+		}
+		for i < len(a) {
+			b[k] = a[i]
+			i++
+			k++
+		}
+		for j < len(r) {
+			b[k] = r[j]
+			j++
+			k++
+		}
+		copy(w, b)
+	}
+	rec(work, buf)
+	return out
+}
+
+// ParallelReportInversions reports all inversions with parallelism p. Each
+// recursive half is processed concurrently into its own buffer; results are
+// concatenated. The pair set is identical to ReportInversions up to order.
+func ParallelReportInversions(xs []int, p int) []InvPair {
+	n := len(xs)
+	if n < 2 {
+		return nil
+	}
+	p = normalize(p)
+	type elem struct{ v, pos int }
+	work := make([]elem, n)
+	for i, v := range xs {
+		work[i] = elem{v, i}
+	}
+	buf := make([]elem, n)
+
+	var rec func(w, b []elem, depth int) []InvPair
+	rec = func(w, b []elem, depth int) []InvPair {
+		if len(w) < 2 {
+			return nil
+		}
+		mid := len(w) / 2
+		var left []InvPair
+		if depth > 0 && len(w) > sortSerialCutoff {
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				left = rec(w[:mid], b[:mid], depth-1)
+			}()
+			right := rec(w[mid:], b[mid:], depth-1)
+			wg.Wait()
+			left = append(left, right...)
+		} else {
+			left = rec(w[:mid], b[:mid], 0)
+			left = append(left, rec(w[mid:], b[mid:], 0)...)
+		}
+		a, r := w[:mid], w[mid:]
+		i, j, k := 0, 0, 0
+		for i < len(a) && j < len(r) {
+			if r[j].v < a[i].v {
+				for t := i; t < len(a); t++ {
+					pi, pj := a[t].pos, r[j].pos
+					if pi > pj {
+						pi, pj = pj, pi
+					}
+					left = append(left, InvPair{pi, pj})
+				}
+				b[k] = r[j]
+				j++
+			} else {
+				b[k] = a[i]
+				i++
+			}
+			k++
+		}
+		for i < len(a) {
+			b[k] = a[i]
+			i++
+			k++
+		}
+		for j < len(r) {
+			b[k] = r[j]
+			j++
+			k++
+		}
+		copy(w, b)
+		return left
+	}
+	return rec(work, buf, depthFor(p))
+}
+
+// MergeStep is one time step of merging two sorted sublists in an internal
+// node of the merge tree, with the inversion pairs (by value) detected at
+// that step — the faithful rendition of the paper's Table I.
+type MergeStep struct {
+	Compared   [2]int   // A_l[i], A_r[j] compared at this step
+	Emitted    int      // value moved to the merged output
+	Inversions [][2]int // (A_l value, A_r value) pairs reported, if any
+}
+
+// MergeTrace merges the sorted sublists al and ar, recording each time step
+// and the inversion pairs reported. Used to regenerate Table I.
+func MergeTrace(al, ar []int) []MergeStep {
+	var steps []MergeStep
+	i, j := 0, 0
+	for i < len(al) && j < len(ar) {
+		st := MergeStep{Compared: [2]int{al[i], ar[j]}}
+		if ar[j] < al[i] {
+			for t := i; t < len(al); t++ {
+				st.Inversions = append(st.Inversions, [2]int{al[t], ar[j]})
+			}
+			st.Emitted = ar[j]
+			j++
+		} else {
+			st.Emitted = al[i]
+			i++
+		}
+		steps = append(steps, st)
+	}
+	for i < len(al) {
+		steps = append(steps, MergeStep{Compared: [2]int{al[i], -1}, Emitted: al[i]})
+		i++
+	}
+	for j < len(ar) {
+		steps = append(steps, MergeStep{Compared: [2]int{-1, ar[j]}, Emitted: ar[j]})
+		j++
+	}
+	return steps
+}
+
+// FormatMergeTrace renders a MergeTrace as a table in the style of Table I.
+func FormatMergeTrace(steps []MergeStep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-14s %-10s %s\n", "Step", "Comparison", "Emitted", "Inversions reported")
+	for i, st := range steps {
+		var inv []string
+		for _, p := range st.Inversions {
+			inv = append(inv, fmt.Sprintf("(%d,%d)", p[0], p[1]))
+		}
+		fmt.Fprintf(&b, "%-5d (%d,%d)%-7s %-10d %s\n", i+1, st.Compared[0], st.Compared[1], "", st.Emitted, strings.Join(inv, " "))
+	}
+	return b.String()
+}
+
+// BruteForceInversions counts inversions in O(n²); test oracle.
+func BruteForceInversions(xs []int) int64 {
+	var inv int64
+	for i := 0; i < len(xs); i++ {
+		for j := i + 1; j < len(xs); j++ {
+			if xs[i] > xs[j] {
+				inv++
+			}
+		}
+	}
+	return inv
+}
+
+// RanksOf returns, for each value in order, its rank (position) in the
+// sorted order of values. Values must be distinct. Inversions of the rank
+// sequence of list B relative to list A equal the pairs whose relative order
+// differs between A and B — the bottom/top scanline orders of Fig. 4.
+func RanksOf(values []int) []int {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	ranks := make([]int, len(values))
+	for r, i := range idx {
+		ranks[i] = r
+	}
+	return ranks
+}

@@ -1,0 +1,203 @@
+// Package par provides the parallel primitives the paper builds its PRAM
+// algorithm from: parallel-for over index ranges, prefix sums, parallel
+// mergesort, and — the paper's key tool (Lemma 4, Table I) — inversion
+// counting and reporting via an extended mergesort, which is how pairs of
+// intersecting segments are detected inside a scanbeam.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelism returns the degree of parallelism used when a caller
+// passes p <= 0: the number of usable CPUs.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// normalize clamps a requested parallelism degree.
+func normalize(p int) int {
+	if p <= 0 {
+		p = DefaultParallelism()
+	}
+	return p
+}
+
+// ForEach splits [0, n) into at most p contiguous chunks and runs fn on each
+// chunk concurrently. fn receives the half-open range [lo, hi). ForEach
+// returns when all chunks are done. With p == 1 (or n small) it degenerates
+// to a direct call, adding no goroutine overhead.
+func ForEach(n, p int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p = normalize(p)
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + p - 1) / p
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEachItem runs fn(i) for every i in [0, n) with parallelism p, chunked
+// to amortize scheduling overhead.
+func ForEachItem(n, p int, fn func(i int)) {
+	ForEach(n, p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// PrefixSum computes the inclusive prefix sums of xs in place and returns
+// the total. It is the sequential building block behind Lemma 3's parity
+// test.
+func PrefixSum(xs []int) int {
+	sum := 0
+	for i, v := range xs {
+		sum += v
+		xs[i] = sum
+	}
+	return sum
+}
+
+// ExclusivePrefixSum rewrites xs so xs[i] holds the sum of the original
+// xs[0:i], returning the grand total. This is the "scan" used for
+// output-sensitive processor/slot allocation throughout the repository:
+// after scanning the per-bucket counts, bucket i writes its results at
+// offset xs[i].
+func ExclusivePrefixSum(xs []int) int {
+	sum := 0
+	for i, v := range xs {
+		xs[i] = sum
+		sum += v
+	}
+	return sum
+}
+
+// ParallelPrefixSum computes inclusive prefix sums of xs in place using the
+// classic two-pass block algorithm (each of the p blocks is scanned, block
+// totals are scanned sequentially, then block offsets are added back in
+// parallel). Returns the total. Work O(n), depth O(n/p + p).
+func ParallelPrefixSum(xs []int, p int) int {
+	n := len(xs)
+	p = normalize(p)
+	if p == 1 || n < 2048 {
+		return PrefixSum(xs)
+	}
+	if p > n {
+		p = n
+	}
+	chunk := (n + p - 1) / p
+	nblocks := (n + chunk - 1) / chunk
+	totals := make([]int, nblocks)
+
+	ForEachItem(nblocks, p, func(b int) {
+		lo, hi := b*chunk, (b+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		sum := 0
+		for i := lo; i < hi; i++ {
+			sum += xs[i]
+			xs[i] = sum
+		}
+		totals[b] = sum
+	})
+
+	grand := ExclusivePrefixSum(totals)
+
+	ForEachItem(nblocks, p, func(b int) {
+		off := totals[b]
+		if off == 0 {
+			return
+		}
+		lo, hi := b*chunk, (b+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			xs[i] += off
+		}
+	})
+	return grand
+}
+
+// Reduce folds xs with the associative op in parallel, returning identity
+// for an empty slice.
+func Reduce[T any](xs []T, identity T, op func(a, b T) T, p int) T {
+	n := len(xs)
+	if n == 0 {
+		return identity
+	}
+	p = normalize(p)
+	if p == 1 || n < 4096 {
+		acc := identity
+		for _, v := range xs {
+			acc = op(acc, v)
+		}
+		return acc
+	}
+	if p > n {
+		p = n
+	}
+	partial := make([]T, p)
+	chunk := (n + p - 1) / p
+	nb := (n + chunk - 1) / chunk
+	ForEachItem(nb, p, func(b int) {
+		lo, hi := b*chunk, (b+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = op(acc, xs[i])
+		}
+		partial[b] = acc
+	})
+	acc := identity
+	for b := 0; b < nb; b++ {
+		acc = op(acc, partial[b])
+	}
+	return acc
+}
+
+// Pack compacts the elements of xs for which keep is true, preserving
+// order, using a prefix-sum over 0/1 flags to compute destinations — the
+// "array packing" primitive of the paper's Step 3.4. Runs with parallelism
+// p; the scan is the only synchronization point.
+func Pack[T any](xs []T, keep []bool, p int) []T {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int, n)
+	ForEachItem(n, p, func(i int) {
+		if keep[i] {
+			flags[i] = 1
+		}
+	})
+	total := ParallelPrefixSum(flags, p)
+	out := make([]T, total)
+	ForEachItem(n, p, func(i int) {
+		if keep[i] {
+			out[flags[i]-1] = xs[i]
+		}
+	})
+	return out
+}

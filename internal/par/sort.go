@@ -1,0 +1,90 @@
+package par
+
+import (
+	"sort"
+	"sync"
+)
+
+// sortSerialCutoff is the subproblem size below which parallel mergesort
+// falls back to the stdlib sort.
+const sortSerialCutoff = 1 << 12
+
+// Sort sorts xs by less using a work-efficient parallel mergesort with
+// parallelism p. It is the multicore stand-in for Cole's O(log n) CREW PRAM
+// mergesort the paper uses for Step 1 (sorting event points) — same work,
+// O(log² n) depth instead of O(log n) (Cole's pipelining is a PRAM
+// refinement with no multicore payoff; see DESIGN.md).
+func Sort[T any](xs []T, less func(a, b T) bool, p int) {
+	p = normalize(p)
+	if p == 1 || len(xs) <= sortSerialCutoff {
+		sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	buf := make([]T, len(xs))
+	mergeSort(xs, buf, less, depthFor(p))
+}
+
+// depthFor returns the recursion depth at which to stop spawning goroutines:
+// 2^depth leaves ≈ 2p tasks for load balance.
+func depthFor(p int) int {
+	d := 0
+	for (1 << d) < 2*p {
+		d++
+	}
+	return d
+}
+
+func mergeSort[T any](xs, buf []T, less func(a, b T) bool, depth int) {
+	n := len(xs)
+	if depth == 0 || n <= sortSerialCutoff {
+		sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	mid := n / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mergeSort(xs[:mid], buf[:mid], less, depth-1)
+	}()
+	mergeSort(xs[mid:], buf[mid:], less, depth-1)
+	wg.Wait()
+	merge(xs[:mid], xs[mid:], buf, less)
+	copy(xs, buf)
+}
+
+// merge merges sorted a and b into dst (len(dst) == len(a)+len(b)),
+// preserving stability (ties favour a).
+func merge[T any](a, b, dst []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	for i < len(a) {
+		dst[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		dst[k] = b[j]
+		j++
+		k++
+	}
+}
+
+// IsSorted reports whether xs is sorted by less.
+func IsSorted[T any](xs []T, less func(a, b T) bool) bool {
+	for i := 1; i < len(xs); i++ {
+		if less(xs[i], xs[i-1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,303 @@
+// Package pram simulates a synchronous CREW PRAM and implements the
+// parallel primitives the paper's Algorithm 1 is built from — prefix sum,
+// parallel sorting, inversion counting by ranked merging, and
+// output-sensitive processor allocation — with exact accounting of rounds
+// (parallel time), work (total operations) and the maximum number of
+// processors active in any round. The simulator enforces the CREW
+// discipline: concurrent reads are free, but two writes to the same shared
+// cell in one round panic.
+//
+// The package exists to validate the paper's §III complexity claims
+// empirically: rounds grow logarithmically in the input size while the
+// processor count tracks n + k + k' (see the experiments in cmd/bench).
+package pram
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Machine is a synchronous CREW PRAM with cost accounting.
+type Machine struct {
+	rounds   int64
+	work     int64
+	maxProcs int
+
+	mu         sync.Mutex
+	roundWrite map[memKey]struct{}
+	checkCREW  bool
+}
+
+type memKey struct {
+	arr uintptr
+	idx int
+}
+
+// New returns a machine with CREW write checking enabled.
+func New() *Machine {
+	return &Machine{roundWrite: make(map[memKey]struct{}), checkCREW: true}
+}
+
+// Rounds returns the number of synchronous rounds executed so far — the
+// PRAM parallel time.
+func (m *Machine) Rounds() int64 { return m.rounds }
+
+// Work returns the total number of processor-operations executed.
+func (m *Machine) Work() int64 { return m.work }
+
+// MaxProcs returns the largest number of processors active in one round.
+func (m *Machine) MaxProcs() int { return m.maxProcs }
+
+// Reset clears the accounting.
+func (m *Machine) Reset() {
+	m.rounds, m.work, m.maxProcs = 0, 0, 0
+}
+
+// Step executes one synchronous round with p processors; fn(i) is processor
+// i's operation. Writes to shared arrays must go through Array.Write so the
+// exclusive-write rule is enforced.
+func (m *Machine) Step(p int, fn func(i int)) {
+	if p <= 0 {
+		return
+	}
+	m.rounds++
+	m.work += int64(p)
+	if p > m.maxProcs {
+		m.maxProcs = p
+	}
+	for k := range m.roundWrite {
+		delete(m.roundWrite, k)
+	}
+	for i := 0; i < p; i++ {
+		fn(i)
+	}
+}
+
+// Array is shared PRAM memory of ints with checked writes.
+type Array struct {
+	m    *Machine
+	data []int
+	id   uintptr
+}
+
+var arrayID uintptr
+
+// NewArray allocates shared memory initialized from xs (copied).
+func (m *Machine) NewArray(xs []int) *Array {
+	arrayID++
+	a := &Array{m: m, data: make([]int, len(xs)), id: arrayID}
+	copy(a.data, xs)
+	return a
+}
+
+// Len returns the array length.
+func (a *Array) Len() int { return len(a.data) }
+
+// Read returns element i (concurrent reads are allowed).
+func (a *Array) Read(i int) int { return a.data[i] }
+
+// Write sets element i, panicking if another processor already wrote it in
+// the current round (the EW in CREW).
+func (a *Array) Write(i, v int) {
+	if a.m.checkCREW {
+		k := memKey{a.id, i}
+		a.m.mu.Lock()
+		if _, dup := a.m.roundWrite[k]; dup {
+			a.m.mu.Unlock()
+			panic(fmt.Sprintf("pram: concurrent write to cell %d in one round", i))
+		}
+		a.m.roundWrite[k] = struct{}{}
+		a.m.mu.Unlock()
+	}
+	a.data[i] = v
+}
+
+// Snapshot copies the array contents out.
+func (a *Array) Snapshot() []int {
+	out := make([]int, len(a.data))
+	copy(out, a.data)
+	return out
+}
+
+// Scan computes the inclusive prefix sums of xs with the Hillis–Steele
+// algorithm: ceil(log2 n) rounds with n processors — the Lemma 3 primitive.
+func (m *Machine) Scan(xs []int) []int {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	cur := m.NewArray(xs)
+	for d := 1; d < n; d *= 2 {
+		next := m.NewArray(cur.Snapshot())
+		m.Step(n, func(i int) {
+			if i >= d {
+				next.Write(i, cur.Read(i)+cur.Read(i-d))
+			}
+		})
+		cur = next
+	}
+	return cur.Snapshot()
+}
+
+// Sort sorts xs with Batcher's bitonic network: O(log² n) rounds with n/2
+// processors. Cole's mergesort achieves O(log n) on the CREW PRAM; the
+// bitonic network has the same work-per-round structure and is the standard
+// executable stand-in (see DESIGN.md substitutions).
+func (m *Machine) Sort(xs []int) []int {
+	if len(xs) < 2 {
+		return append([]int(nil), xs...)
+	}
+	n := 1
+	for n < len(xs) {
+		n <<= 1
+	}
+	padded := make([]int, n)
+	copy(padded, xs)
+	const inf = int(^uint(0) >> 1)
+	for i := len(xs); i < n; i++ {
+		padded[i] = inf
+	}
+	a := m.NewArray(padded)
+	for k := 2; k <= n; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			m.Step(n/2, func(p int) {
+				// Processor p handles the p-th compare-exchange pair.
+				i := pairIndex(p, j)
+				l := i ^ j
+				if l <= i {
+					return
+				}
+				asc := i&k == 0
+				vi, vl := a.Read(i), a.Read(l)
+				if (vi > vl) == asc {
+					a.Write(i, vl)
+					a.Write(l, vi)
+				}
+			})
+		}
+	}
+	out := a.Snapshot()
+	return out[:len(xs)]
+}
+
+// pairIndex maps processor p to the lower index of its compare-exchange
+// pair for stride j.
+func pairIndex(p, j int) int {
+	block := p / j
+	off := p % j
+	return block*2*j + off
+}
+
+// CountInversions counts inversions with log n levels of ranked merging:
+// at each level, every element binary-searches its rank in the sibling
+// sublist (log rounds per level, n processors), cross inversions are summed
+// with a Scan — the PRAM realization of the paper's extended mergesort
+// (Lemma 4, Table I).
+func (m *Machine) CountInversions(xs []int) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	cur := make([]int, n)
+	copy(cur, xs)
+	var total int64
+
+	for width := 1; width < n; width *= 2 {
+		next := make([]int, n)
+		crossPer := make([]int, n)
+
+		// Ranking round(s): each element finds its insertion rank in the
+		// sibling run by binary search — ceil(log2 width) rounds charged.
+		searchRounds := int64(1)
+		for w := 1; w < width; w *= 2 {
+			searchRounds++
+		}
+		m.rounds += searchRounds
+		m.work += int64(n) * searchRounds
+		if n > m.maxProcs {
+			m.maxProcs = n
+		}
+
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			if mid > n {
+				mid = n
+			}
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			left := cur[lo:mid]
+			right := cur[mid:hi]
+			// Each left element: rank = #right elements strictly less.
+			for i, v := range left {
+				r := lowerBound(right, v)
+				next[lo+i+r] = v
+			}
+			// Each right element: rank among left with ties keeping left
+			// first (stability); cross inversions = #left strictly greater.
+			for i, v := range right {
+				r := upperBound(left, v)
+				next[lo+r+i] = v
+				crossPer[mid+i] = len(left) - r
+			}
+		}
+		// Summing the cross inversions is one Scan.
+		sums := m.Scan(crossPer)
+		total += int64(sums[len(sums)-1])
+		cur = next
+	}
+	return total
+}
+
+// lowerBound returns the count of elements of a strictly less than v.
+func lowerBound(a []int, v int) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the count of elements of a less than or equal to v.
+func upperBound(a []int, v int) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// AllocateSlots performs the paper's output-sensitive processor allocation:
+// given per-bucket result counts, it scans them to offsets and "hires"
+// exactly total processors to fill a flat result array — two rounds plus a
+// Scan. It returns the offsets and the total, and charges the machine
+// accordingly. This is the Step 2/Step 3.2 allocation pattern.
+func (m *Machine) AllocateSlots(counts []int) (offsets []int, total int) {
+	if len(counts) == 0 {
+		return nil, 0
+	}
+	incl := m.Scan(counts)
+	total = incl[len(incl)-1]
+	offsets = make([]int, len(counts))
+	m.Step(len(counts), func(i int) {
+		if i == 0 {
+			offsets[0] = 0
+		} else {
+			offsets[i] = incl[i-1]
+		}
+	})
+	// One more round where `total` processors write their slot.
+	m.Step(total, func(int) {})
+	return offsets, total
+}

@@ -1,0 +1,238 @@
+package pram
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"polyclip/internal/par"
+)
+
+func TestScanValues(t *testing.T) {
+	m := New()
+	got := m.Scan([]int{1, 2, 3, 4, 5})
+	if !reflect.DeepEqual(got, []int{1, 3, 6, 10, 15}) {
+		t.Errorf("scan = %v", got)
+	}
+}
+
+func TestScanRoundsLogarithmic(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 1024, 4096} {
+		m := New()
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = 1
+		}
+		m.Scan(xs)
+		want := int64(math.Ceil(math.Log2(float64(n))))
+		if m.Rounds() != want {
+			t.Errorf("n=%d rounds=%d want %d", n, m.Rounds(), want)
+		}
+		if m.MaxProcs() != n {
+			t.Errorf("n=%d procs=%d", n, m.MaxProcs())
+		}
+	}
+}
+
+func TestScanEmpty(t *testing.T) {
+	m := New()
+	if got := m.Scan(nil); got != nil {
+		t.Errorf("scan(nil) = %v", got)
+	}
+}
+
+func TestSortCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 7, 16, 100, 1000} {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = rng.Intn(1000)
+		}
+		m := New()
+		got := m.Sort(xs)
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: sort mismatch", n)
+		}
+	}
+}
+
+func TestSortRoundsLogSquared(t *testing.T) {
+	for _, n := range []int{16, 256, 1024} {
+		m := New()
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = n - i
+		}
+		m.Sort(xs)
+		lg := int64(math.Log2(float64(n)))
+		want := lg * (lg + 1) / 2
+		if m.Rounds() != want {
+			t.Errorf("n=%d rounds=%d want %d (log²)", n, m.Rounds(), want)
+		}
+		if m.MaxProcs() != n/2 {
+			t.Errorf("n=%d maxProcs=%d want %d", n, m.MaxProcs(), n/2)
+		}
+	}
+}
+
+func TestCountInversionsMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(300)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = rng.Intn(100)
+		}
+		m := New()
+		got := m.CountInversions(xs)
+		want := par.BruteForceInversions(xs)
+		if got != want {
+			t.Fatalf("trial %d n=%d: pram=%d brute=%d", trial, n, got, want)
+		}
+	}
+}
+
+func TestCountInversionsRoundsPolylog(t *testing.T) {
+	// Rounds must grow like log²(n), far below n.
+	for _, n := range []int{64, 1024, 8192} {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = n - i
+		}
+		m := New()
+		m.CountInversions(xs)
+		lg := math.Log2(float64(n))
+		if float64(m.Rounds()) > 4*lg*lg {
+			t.Errorf("n=%d rounds=%d > 4·log²n=%v", n, m.Rounds(), 4*lg*lg)
+		}
+	}
+}
+
+func TestAllocateSlots(t *testing.T) {
+	m := New()
+	offsets, total := m.AllocateSlots([]int{3, 0, 5, 2})
+	if total != 10 {
+		t.Errorf("total = %d", total)
+	}
+	if !reflect.DeepEqual(offsets, []int{0, 3, 3, 8}) {
+		t.Errorf("offsets = %v", offsets)
+	}
+	// Output sensitivity: the number of processors hired in the fill round
+	// equals the total output size.
+	if m.MaxProcs() != 10 && m.MaxProcs() != 4 {
+		t.Logf("maxProcs = %d", m.MaxProcs())
+	}
+}
+
+func TestAllocateSlotsOutputSensitive(t *testing.T) {
+	// Doubling the output doubles the processors hired for the fill round.
+	m1 := New()
+	m1.AllocateSlots([]int{1, 1})
+	small := m1.MaxProcs()
+	m2 := New()
+	m2.AllocateSlots([]int{100, 100})
+	big := m2.MaxProcs()
+	if big <= small {
+		t.Errorf("processor allocation not output-sensitive: %d vs %d", small, big)
+	}
+}
+
+func TestCREWForbidsConcurrentWrite(t *testing.T) {
+	m := New()
+	a := m.NewArray(make([]int, 4))
+	defer func() {
+		if recover() == nil {
+			t.Error("concurrent write did not panic")
+		}
+	}()
+	m.Step(2, func(i int) {
+		a.Write(0, i) // both processors write cell 0
+	})
+}
+
+func TestCREWAllowsConcurrentRead(t *testing.T) {
+	m := New()
+	a := m.NewArray([]int{42, 0, 0, 0})
+	m.Step(4, func(i int) {
+		_ = a.Read(0) // everyone reads cell 0: fine on CREW
+	})
+	if m.Rounds() != 1 || m.Work() != 4 {
+		t.Errorf("rounds=%d work=%d", m.Rounds(), m.Work())
+	}
+}
+
+func TestMachineAccounting(t *testing.T) {
+	m := New()
+	m.Step(8, func(int) {})
+	m.Step(4, func(int) {})
+	if m.Rounds() != 2 || m.Work() != 12 || m.MaxProcs() != 8 {
+		t.Errorf("rounds=%d work=%d procs=%d", m.Rounds(), m.Work(), m.MaxProcs())
+	}
+	m.Reset()
+	if m.Rounds() != 0 || m.Work() != 0 || m.MaxProcs() != 0 {
+		t.Error("reset failed")
+	}
+	m.Step(0, func(int) {})
+	if m.Rounds() != 0 {
+		t.Error("zero-processor step should be free")
+	}
+}
+
+func TestArraySnapshotIndependent(t *testing.T) {
+	m := New()
+	a := m.NewArray([]int{1, 2, 3})
+	s := a.Snapshot()
+	s[0] = 99
+	if a.Read(0) == 99 {
+		t.Error("snapshot aliases array")
+	}
+	if a.Len() != 3 {
+		t.Errorf("len = %d", a.Len())
+	}
+}
+
+func TestLemma3ContributingVerticesOnPRAM(t *testing.T) {
+	// End-to-end Lemma 3 on the simulator: edges of a scanbeam sorted by x
+	// with 0/1 labels (1 = clip polygon); a subject vertex is contributing
+	// iff the prefix sum at its position is odd. Layout (x order):
+	//   C S C S S C   -> labels 1 0 1 0 0 1
+	// Prefix sums:       1 1 2 2 2 3
+	// Subject edges at positions 1,3,4 have parities 1,2,2 -> contributing
+	// only the one at position 1.
+	m := New()
+	labels := []int{1, 0, 1, 0, 0, 1}
+	sums := m.Scan(labels)
+	contributing := []bool{}
+	for i, v := range sums {
+		if labels[i] == 0 { // subject edge
+			contributing = append(contributing, v%2 == 1)
+		}
+	}
+	want := []bool{true, false, false}
+	if !reflect.DeepEqual(contributing, want) {
+		t.Errorf("contributing = %v, want %v", contributing, want)
+	}
+	// Cost: one O(log n) scan.
+	if m.Rounds() > 3 {
+		t.Errorf("rounds = %d", m.Rounds())
+	}
+}
+
+func TestSortWorkIsNLog2N(t *testing.T) {
+	n := 256
+	m := New()
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = n - i
+	}
+	m.Sort(xs)
+	lg := int64(8) // log2 256
+	wantWork := int64(n/2) * lg * (lg + 1) / 2
+	if m.Work() != wantWork {
+		t.Errorf("work = %d, want %d", m.Work(), wantWork)
+	}
+}

@@ -1,0 +1,173 @@
+// Package ringstitch links directed boundary edges into closed polygon
+// rings. Both clipping engines emit their contributing edges directed so
+// that the result interior lies to the edge's left; under the even-odd rule
+// every vertex then has equal in- and out-degree, and rings are recovered by
+// walking edges, at each vertex taking the first unused outgoing edge
+// clockwise from the reversed incoming direction. This keeps the interior on
+// the left around every turn, producing counter-clockwise outer rings and
+// clockwise holes — the paper's Step 3.4/Step 4 vertex ordering.
+package ringstitch
+
+import (
+	"math"
+
+	"polyclip/internal/geom"
+)
+
+// Edge is a directed boundary edge with the region interior on its left.
+type Edge struct {
+	From, To geom.Point
+}
+
+// Stitch links the directed edges into closed rings. Edges must form an
+// even-degree graph (every vertex has in-degree == out-degree); numerically
+// inconsistent leftovers are dropped rather than emitted as open chains.
+// Rings with fewer than three vertices are discarded.
+func Stitch(edges []Edge) geom.Polygon {
+	if len(edges) == 0 {
+		return nil
+	}
+	type vkey struct{ x, y float64 }
+	vid := make(map[vkey]int32, len(edges))
+	var verts []geom.Point
+	idOf := func(p geom.Point) int32 {
+		k := vkey{p.X, p.Y}
+		if id, ok := vid[k]; ok {
+			return id
+		}
+		id := int32(len(verts))
+		vid[k] = id
+		verts = append(verts, p)
+		return id
+	}
+
+	type outEdge struct {
+		to    int32
+		angle float64
+		used  bool
+	}
+	froms := make([]int32, len(edges))
+	tos := make([]int32, len(edges))
+	for i, e := range edges {
+		froms[i] = idOf(e.From)
+		tos[i] = idOf(e.To)
+	}
+	adj := make([][]outEdge, len(verts))
+	for i := range edges {
+		f, t := froms[i], tos[i]
+		ang := math.Atan2(verts[t].Y-verts[f].Y, verts[t].X-verts[f].X)
+		adj[f] = append(adj[f], outEdge{to: t, angle: ang})
+	}
+
+	var result geom.Polygon
+	for i := range edges {
+		f := froms[i]
+		start := -1
+		for k := range adj[f] {
+			if !adj[f][k].used && adj[f][k].to == tos[i] {
+				start = k
+				break
+			}
+		}
+		if start < 0 {
+			continue
+		}
+
+		ring := geom.Ring{verts[f]}
+		cur, curEdge := f, start
+		for {
+			e := &adj[cur][curEdge]
+			e.used = true
+			nxt := e.to
+			if nxt == f {
+				break
+			}
+			ring = append(ring, verts[nxt])
+			rev := math.Atan2(verts[cur].Y-verts[nxt].Y, verts[cur].X-verts[nxt].X)
+			bestK, bestOff := -1, math.Inf(1)
+			for k := range adj[nxt] {
+				c := &adj[nxt][k]
+				if c.used {
+					continue
+				}
+				off := math.Mod(rev-c.angle, 2*math.Pi)
+				if off <= 0 {
+					off += 2 * math.Pi
+				}
+				if off < bestOff {
+					bestOff, bestK = off, k
+				}
+			}
+			if bestK < 0 {
+				ring = nil
+				break
+			}
+			cur, curEdge = nxt, bestK
+		}
+		if len(ring) >= 3 {
+			result = append(result, ring)
+		}
+	}
+	return DropSlivers(result)
+}
+
+// DropSlivers removes rings of negligible area relative to the largest
+// ring — artifacts of coordinate snapping.
+func DropSlivers(p geom.Polygon) geom.Polygon {
+	if len(p) == 0 {
+		return nil
+	}
+	maxA := 0.0
+	for _, r := range p {
+		if a := r.Area(); a > maxA {
+			maxA = a
+		}
+	}
+	thresh := maxA * 1e-14
+	out := p[:0]
+	for _, r := range p {
+		if r.Area() > thresh {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// CancelOpposites removes pairs of identical segments traversed in opposite
+// directions (shared boundaries of adjacent regions) and merges identical
+// duplicates, returning the net directed edge set. Engines that assemble a
+// region from per-scanbeam pieces use this to erase the internal seams (the
+// paper's virtual-vertex caps) before stitching.
+func CancelOpposites(edges []Edge) []Edge {
+	type key struct{ ax, ay, bx, by float64 }
+	net := make(map[key]int, len(edges))
+	for _, e := range edges {
+		a, b := e.From, e.To
+		flip := false
+		if b.Less(a) {
+			a, b = b, a
+			flip = true
+		}
+		k := key{a.X, a.Y, b.X, b.Y}
+		if flip {
+			net[k]--
+		} else {
+			net[k]++
+		}
+	}
+	out := make([]Edge, 0, len(net))
+	for k, n := range net {
+		a := geom.Point{X: k.ax, Y: k.ay}
+		b := geom.Point{X: k.bx, Y: k.by}
+		for ; n > 0; n-- {
+			out = append(out, Edge{a, b})
+		}
+		for ; n < 0; n++ {
+			out = append(out, Edge{b, a})
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package ringstitch
+
+import (
+	"math"
+	"testing"
+
+	"polyclip/internal/geom"
+)
+
+func edgesOfCCWRect(minX, minY, maxX, maxY float64) []Edge {
+	r := geom.Rect(minX, minY, maxX, maxY)
+	var out []Edge
+	for i := range r {
+		j := (i + 1) % len(r)
+		out = append(out, Edge{r[i], r[j]})
+	}
+	return out
+}
+
+func TestStitchSingleSquare(t *testing.T) {
+	got := Stitch(edgesOfCCWRect(0, 0, 2, 2))
+	if len(got) != 1 {
+		t.Fatalf("rings = %d", len(got))
+	}
+	if a := got[0].SignedArea(); math.Abs(a-4) > 1e-12 {
+		t.Errorf("signed area = %v, want 4 (CCW)", a)
+	}
+}
+
+func TestStitchShuffledEdges(t *testing.T) {
+	es := edgesOfCCWRect(0, 0, 2, 2)
+	es[0], es[2] = es[2], es[0]
+	es[1], es[3] = es[3], es[1]
+	got := Stitch(es)
+	if len(got) != 1 || math.Abs(got[0].Area()-4) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStitchTwoDisjointSquares(t *testing.T) {
+	es := append(edgesOfCCWRect(0, 0, 1, 1), edgesOfCCWRect(5, 5, 6, 6)...)
+	got := Stitch(es)
+	if len(got) != 2 {
+		t.Fatalf("rings = %d", len(got))
+	}
+}
+
+func TestStitchSquareWithHole(t *testing.T) {
+	es := edgesOfCCWRect(0, 0, 10, 10)
+	// Hole: clockwise square (interior of region is OUTSIDE the hole, i.e.
+	// on the left when walking CW).
+	hole := geom.Rect(3, 3, 7, 7)
+	for i := len(hole) - 1; i >= 0; i-- {
+		j := (i + len(hole) - 1) % len(hole)
+		es = append(es, Edge{hole[i], hole[j]})
+	}
+	got := Stitch(es)
+	if len(got) != 2 {
+		t.Fatalf("rings = %d", len(got))
+	}
+	var sum float64
+	for _, r := range got {
+		sum += r.SignedArea()
+	}
+	if math.Abs(sum-84) > 1e-12 {
+		t.Errorf("net area = %v, want 84", sum)
+	}
+}
+
+func TestStitchCornerTouchingSquares(t *testing.T) {
+	// Two CCW squares sharing one corner: the clockwise-first rule must
+	// keep them as two simple rings, not one figure-eight.
+	es := append(edgesOfCCWRect(0, 0, 2, 2), edgesOfCCWRect(2, 2, 4, 4)...)
+	got := Stitch(es)
+	if len(got) != 2 {
+		t.Fatalf("rings = %d, want 2", len(got))
+	}
+	for _, r := range got {
+		if math.Abs(r.Area()-4) > 1e-12 {
+			t.Errorf("ring area = %v, want 4", r.Area())
+		}
+		if len(r) != 4 {
+			t.Errorf("ring has %d vertices, want 4", len(r))
+		}
+	}
+}
+
+func TestStitchDropsOpenChains(t *testing.T) {
+	es := []Edge{
+		{geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 0}},
+		{geom.Point{X: 1, Y: 0}, geom.Point{X: 1, Y: 1}},
+		// not closed
+	}
+	if got := Stitch(es); got != nil {
+		t.Errorf("open chain produced rings: %v", got)
+	}
+}
+
+func TestStitchEmpty(t *testing.T) {
+	if got := Stitch(nil); got != nil {
+		t.Errorf("Stitch(nil) = %v", got)
+	}
+}
+
+func TestCancelOpposites(t *testing.T) {
+	a := geom.Point{X: 0, Y: 0}
+	b := geom.Point{X: 1, Y: 0}
+	c := geom.Point{X: 2, Y: 0}
+	es := []Edge{{a, b}, {b, a}, {b, c}}
+	got := CancelOpposites(es)
+	if len(got) != 1 || got[0] != (Edge{b, c}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCancelOppositesKeepsMultiplicity(t *testing.T) {
+	a := geom.Point{X: 0, Y: 0}
+	b := geom.Point{X: 1, Y: 0}
+	es := []Edge{{a, b}, {a, b}, {b, a}}
+	got := CancelOpposites(es)
+	if len(got) != 1 || got[0] != (Edge{a, b}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCancelThenStitchSeam(t *testing.T) {
+	// Two stacked rectangles whose shared horizontal seam cancels, fusing
+	// them into one ring of area 8.
+	es := append(edgesOfCCWRect(0, 0, 2, 2), edgesOfCCWRect(0, 2, 2, 4)...)
+	got := Stitch(CancelOpposites(es))
+	if len(got) != 1 {
+		t.Fatalf("rings = %d, want 1", len(got))
+	}
+	if math.Abs(got[0].Area()-8) > 1e-12 {
+		t.Errorf("area = %v, want 8", got[0].Area())
+	}
+}
+
+func TestDropSlivers(t *testing.T) {
+	p := geom.Polygon{
+		geom.Rect(0, 0, 10, 10),
+		geom.Rect(0, 0, 1e-13, 1e-13),
+	}
+	got := DropSlivers(p)
+	if len(got) != 1 {
+		t.Errorf("rings = %d, want 1", len(got))
+	}
+	if DropSlivers(nil) != nil {
+		t.Error("DropSlivers(nil) should be nil")
+	}
+}

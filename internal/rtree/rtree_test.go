@@ -1,0 +1,132 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"polyclip/internal/geom"
+)
+
+func randomBoxes(rng *rand.Rand, n int, span float64) []geom.BBox {
+	boxes := make([]geom.BBox, n)
+	for i := range boxes {
+		x := rng.Float64() * span
+		y := rng.Float64() * span
+		boxes[i] = geom.BBox{MinX: x, MinY: y, MaxX: x + rng.Float64()*5, MaxY: y + rng.Float64()*5}
+	}
+	return boxes
+}
+
+func ids(t *Tree, q geom.BBox, boxes []geom.BBox) []int32 {
+	var got []int32
+	t.SearchFiltered(q, func(id int32) geom.BBox { return boxes[id] }, func(id int32) {
+		got = append(got, id)
+	})
+	sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+	return got
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(0, nil)
+	if tr.Len() != 0 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Error("bounds should be empty")
+	}
+	tr.Search(geom.BBox{MaxX: 1, MaxY: 1}, func(int32) { t.Error("visited in empty tree") })
+}
+
+func TestSingleItem(t *testing.T) {
+	boxes := []geom.BBox{{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}}
+	tr := Build(1, func(i int32) geom.BBox { return boxes[i] })
+	if got := ids(tr, geom.BBox{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3}, boxes); len(got) != 1 {
+		t.Errorf("got %v", got)
+	}
+	if got := ids(tr, geom.BBox{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}, boxes); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{5, 17, 100, 1000, 5000} {
+		boxes := randomBoxes(rng, n, 100)
+		tr := Build(n, func(i int32) geom.BBox { return boxes[i] })
+		if tr.Len() != n {
+			t.Fatalf("len = %d", tr.Len())
+		}
+		for q := 0; q < 20; q++ {
+			x := rng.Float64() * 100
+			y := rng.Float64() * 100
+			query := geom.BBox{MinX: x, MinY: y, MaxX: x + rng.Float64()*20, MaxY: y + rng.Float64()*20}
+			var want []int32
+			for i, b := range boxes {
+				if b.Intersects(query) {
+					want = append(want, int32(i))
+				}
+			}
+			got := ids(tr, query, boxes)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d query %d: got %d items want %d", n, q, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestBoundsCoverAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	boxes := randomBoxes(rng, 300, 50)
+	tr := Build(300, func(i int32) geom.BBox { return boxes[i] })
+	root := tr.Bounds()
+	for _, b := range boxes {
+		if b.MinX < root.MinX || b.MaxX > root.MaxX || b.MinY < root.MinY || b.MaxY > root.MaxY {
+			t.Fatal("root bounds do not cover an item")
+		}
+	}
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	boxesA := randomBoxes(rng, 120, 60)
+	boxesB := randomBoxes(rng, 150, 60)
+	tr := Build(len(boxesB), func(i int32) geom.BBox { return boxesB[i] })
+	got := tr.Join(len(boxesA),
+		func(i int32) geom.BBox { return boxesA[i] },
+		func(j int32) geom.BBox { return boxesB[j] })
+	var want [][2]int32
+	for i := range boxesA {
+		for j := range boxesB {
+			if boxesA[i].Intersects(boxesB[j]) {
+				want = append(want, [2]int32{int32(i), int32(j)})
+			}
+		}
+	}
+	sortPairs := func(ps [][2]int32) {
+		sort.Slice(ps, func(a, b int) bool {
+			if ps[a][0] != ps[b][0] {
+				return ps[a][0] < ps[b][0]
+			}
+			return ps[a][1] < ps[b][1]
+		})
+	}
+	sortPairs(got)
+	sortPairs(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("join: got %d pairs want %d", len(got), len(want))
+	}
+}
+
+func TestDegenerateIdenticalBoxes(t *testing.T) {
+	boxes := make([]geom.BBox, 64)
+	for i := range boxes {
+		boxes[i] = geom.BBox{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}
+	}
+	tr := Build(64, func(i int32) geom.BBox { return boxes[i] })
+	got := ids(tr, geom.BBox{MinX: 1.5, MinY: 1.5, MaxX: 1.6, MaxY: 1.6}, boxes)
+	if len(got) != 64 {
+		t.Errorf("got %d, want 64", len(got))
+	}
+}

@@ -1,0 +1,227 @@
+// Package segtree implements the segment tree of the paper's §II-C / §III-E:
+// a complete binary tree over the elementary y-intervals induced by the
+// event schedule, whose internal nodes carry cover lists (the edges spanning
+// the node's range but not its parent's) plus a count of the cover-list
+// size, so that the number of edges in a scanbeam can be obtained by a
+// root-to-leaf walk without touching the lists, and the edges themselves can
+// then be reported with exactly as many "processors" (slots) as the count —
+// the paper's two-phase, output-sensitive Step 2.
+package segtree
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"polyclip/internal/par"
+)
+
+// Tree is a static segment tree over the elementary intervals of a sorted
+// boundary slice. Edge IDs are caller-defined int32 indices.
+type Tree struct {
+	ys     []float64 // sorted distinct interval boundaries, len m+1 for m leaves
+	leaves int       // number of elementary intervals, padded to a power of two
+	real   int       // number of real (unpadded) elementary intervals
+	count  []int32   // per-node cover list size
+	cover  [][]int32 // per-node cover list (edge ids), built on demand
+}
+
+// Interval is a closed y-range to be inserted into the tree.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Boundaries returns the sorted distinct boundary values the tree was built
+// over.
+func (t *Tree) Boundaries() []float64 { return t.ys }
+
+// NumBeams returns the number of elementary intervals (scanbeams).
+func (t *Tree) NumBeams() int { return t.real }
+
+// Beam returns the y-range of elementary interval i.
+func (t *Tree) Beam(i int) (lo, hi float64) { return t.ys[i], t.ys[i+1] }
+
+// Build constructs the tree over the given boundaries for the edges whose
+// y-spans are produced by span(i) for i in [0, n). Boundaries must be sorted
+// and distinct (use Dedup). Construction is parallel with parallelism p and
+// two-phase: counts first, then exact-size cover lists.
+func Build(boundaries []float64, n int, span func(i int32) Interval, p int) *Tree {
+	m := len(boundaries) - 1
+	if m < 1 {
+		m = 1
+	}
+	leaves := 1
+	for leaves < m {
+		leaves <<= 1
+	}
+	t := &Tree{
+		ys:     boundaries,
+		leaves: leaves,
+		real:   m,
+		count:  make([]int32, 2*leaves),
+	}
+
+	// Phase 1: count cover-list sizes with atomic adds.
+	par.ForEachItem(n, p, func(i int) {
+		iv := span(int32(i))
+		a, b := t.elemRange(iv)
+		if a < b {
+			t.visitCanonical(1, 0, t.leaves, a, b, func(node int) {
+				atomic.AddInt32(&t.count[node], 1)
+			})
+		}
+	})
+
+	// Allocate exactly count[node] slots per node.
+	t.cover = make([][]int32, 2*leaves)
+	fill := make([]int32, 2*leaves)
+	for node, c := range t.count {
+		if c > 0 {
+			t.cover[node] = make([]int32, c)
+		}
+	}
+
+	// Phase 2: report edges into their slots.
+	par.ForEachItem(n, p, func(i int) {
+		iv := span(int32(i))
+		a, b := t.elemRange(iv)
+		if a < b {
+			t.visitCanonical(1, 0, t.leaves, a, b, func(node int) {
+				slot := atomic.AddInt32(&fill[node], 1) - 1
+				t.cover[node][slot] = int32(i)
+			})
+		}
+	})
+	return t
+}
+
+// elemRange maps a y-interval to the half-open range of elementary interval
+// indices it fully covers.
+func (t *Tree) elemRange(iv Interval) (a, b int) {
+	// First boundary >= lo starts coverage; coverage ends at the last
+	// boundary <= hi.
+	a = sort.SearchFloat64s(t.ys, iv.Lo)
+	b = sort.SearchFloat64s(t.ys, iv.Hi)
+	if b >= len(t.ys) || t.ys[b] != iv.Hi {
+		// hi is not a boundary (possible when the caller clamps): cover only
+		// full elementary intervals below hi.
+	}
+	if b > t.real {
+		b = t.real
+	}
+	return a, b
+}
+
+// visitCanonical calls fn for every canonical node of [a, b) — the O(log m)
+// nodes whose ranges partition the query interval.
+func (t *Tree) visitCanonical(node, lo, hi, a, b int, fn func(node int)) {
+	if a <= lo && hi <= b {
+		fn(node)
+		return
+	}
+	mid := (lo + hi) / 2
+	if a < mid {
+		t.visitCanonical(2*node, lo, mid, a, b, fn)
+	}
+	if b > mid {
+		t.visitCanonical(2*node+1, mid, hi, a, b, fn)
+	}
+}
+
+// BeamCount returns the number of edges covering elementary interval i by
+// summing the counts on the root-to-leaf path — the O(log m) counting query
+// of §III-E that never touches the cover lists.
+func (t *Tree) BeamCount(i int) int {
+	node := t.leaves + i
+	total := 0
+	for node >= 1 {
+		total += int(t.count[node])
+		node /= 2
+	}
+	return total
+}
+
+// BeamReport calls visit for every edge covering elementary interval i.
+func (t *Tree) BeamReport(i int, visit func(id int32)) {
+	node := t.leaves + i
+	for node >= 1 {
+		for _, id := range t.cover[node] {
+			visit(id)
+		}
+		node /= 2
+	}
+}
+
+// StabCount returns the number of inserted intervals containing y.
+func (t *Tree) StabCount(y float64) int {
+	i := t.beamIndexOf(y)
+	if i < 0 {
+		return 0
+	}
+	return t.BeamCount(i)
+}
+
+// StabReport calls visit for every inserted interval containing y.
+func (t *Tree) StabReport(y float64, visit func(id int32)) {
+	i := t.beamIndexOf(y)
+	if i < 0 {
+		return
+	}
+	t.BeamReport(i, visit)
+}
+
+// beamIndexOf locates the elementary interval whose open range contains y,
+// or -1 when y is outside the tree (or exactly on the extreme boundaries
+// with no adjacent interval).
+func (t *Tree) beamIndexOf(y float64) int {
+	if len(t.ys) < 2 || y < t.ys[0] || y > t.ys[len(t.ys)-1] {
+		return -1
+	}
+	i := sort.SearchFloat64s(t.ys, y)
+	if i == len(t.ys) || t.ys[i] != y {
+		i--
+	}
+	if i >= t.real {
+		i = t.real - 1
+	}
+	return i
+}
+
+// AllBeams reports, for every scanbeam, the IDs of the edges spanning it.
+// The result is allocated output-sensitively: per-beam counting queries run
+// in parallel, an exclusive prefix sum over the counts sizes one flat
+// backing array (total size k' in the paper's notation), then reporting
+// queries fill it in parallel. Returns the per-beam slices and the total k'.
+func (t *Tree) AllBeams(p int) (beams [][]int32, total int) {
+	m := t.real
+	counts := make([]int, m)
+	par.ForEachItem(m, p, func(i int) { counts[i] = t.BeamCount(i) })
+
+	offsets := make([]int, m)
+	copy(offsets, counts)
+	total = par.ExclusivePrefixSum(offsets)
+
+	flat := make([]int32, total)
+	beams = make([][]int32, m)
+	par.ForEachItem(m, p, func(i int) {
+		beams[i] = flat[offsets[i] : offsets[i]+counts[i] : offsets[i]+counts[i]]
+		k := 0
+		t.BeamReport(i, func(id int32) {
+			beams[i][k] = id
+			k++
+		})
+	})
+	return beams, total
+}
+
+// Dedup sorts xs and removes duplicates in place, returning the shrunk
+// slice. Used to turn event y-coordinates into tree boundaries.
+func Dedup(xs []float64) []float64 {
+	sort.Float64s(xs)
+	out := xs[:0]
+	for i, v := range xs {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package segtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func buildSimple(t *testing.T, ivs []Interval, p int) *Tree {
+	t.Helper()
+	var ys []float64
+	for _, iv := range ivs {
+		ys = append(ys, iv.Lo, iv.Hi)
+	}
+	ys = Dedup(ys)
+	return Build(ys, len(ivs), func(i int32) Interval { return ivs[i] }, p)
+}
+
+func TestDedup(t *testing.T) {
+	got := Dedup([]float64{3, 1, 2, 1, 3, 3})
+	if !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Errorf("Dedup = %v", got)
+	}
+	if got := Dedup(nil); len(got) != 0 {
+		t.Errorf("Dedup(nil) = %v", got)
+	}
+}
+
+func TestSingleInterval(t *testing.T) {
+	tr := buildSimple(t, []Interval{{0, 10}}, 1)
+	if tr.NumBeams() != 1 {
+		t.Fatalf("beams = %d", tr.NumBeams())
+	}
+	if got := tr.StabCount(5); got != 1 {
+		t.Errorf("StabCount(5) = %d", got)
+	}
+	if got := tr.StabCount(15); got != 0 {
+		t.Errorf("StabCount(15) = %d", got)
+	}
+}
+
+func TestCoverListsPlacement(t *testing.T) {
+	// Three intervals over boundaries {0,1,3}: two elementary intervals.
+	ivs := []Interval{{0, 3}, {0, 1}, {1, 3}}
+	tr := buildSimple(t, ivs, 1)
+	if tr.NumBeams() != 2 {
+		t.Fatalf("beams = %d", tr.NumBeams())
+	}
+	wantPerBeam := [][]int32{{0, 1}, {0, 2}}
+	for beam, want := range wantPerBeam {
+		var got []int32
+		tr.BeamReport(beam, func(id int32) { got = append(got, id) })
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("beam %d cover = %v, want %v", beam, got, want)
+		}
+		if c := tr.BeamCount(beam); c != len(want) {
+			t.Errorf("beam %d count = %d, want %d", beam, c, len(want))
+		}
+	}
+}
+
+func TestBeamBoundaries(t *testing.T) {
+	tr := buildSimple(t, []Interval{{0, 1}, {1, 2}, {0, 2}}, 1)
+	lo, hi := tr.Beam(0)
+	if lo != 0 || hi != 1 {
+		t.Errorf("beam 0 = [%v,%v]", lo, hi)
+	}
+	lo, hi = tr.Beam(1)
+	if lo != 1 || hi != 2 {
+		t.Errorf("beam 1 = [%v,%v]", lo, hi)
+	}
+	bs := tr.Boundaries()
+	if !reflect.DeepEqual(bs, []float64{0, 1, 2}) {
+		t.Errorf("boundaries = %v", bs)
+	}
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(60)
+		ivs := make([]Interval, n)
+		var ys []float64
+		for i := range ivs {
+			lo := float64(rng.Intn(100))
+			hi := lo + 1 + float64(rng.Intn(50))
+			ivs[i] = Interval{lo, hi}
+			ys = append(ys, lo, hi)
+		}
+		ys = Dedup(ys)
+		tr := Build(ys, n, func(i int32) Interval { return ivs[i] }, 4)
+
+		for b := 0; b < tr.NumBeams(); b++ {
+			lo, hi := tr.Beam(b)
+			mid := (lo + hi) / 2
+			var want []int32
+			for id, iv := range ivs {
+				if iv.Lo <= mid && mid <= iv.Hi {
+					want = append(want, int32(id))
+				}
+			}
+			var got []int32
+			tr.BeamReport(b, func(id int32) { got = append(got, id) })
+			sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d beam %d: got %v want %v", trial, b, got, want)
+			}
+			if got := tr.StabCount(mid); got != len(want) {
+				t.Fatalf("trial %d StabCount(%v) = %d want %d", trial, mid, got, len(want))
+			}
+		}
+	}
+}
+
+func TestAllBeamsMatchesPerBeamQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 500
+	ivs := make([]Interval, n)
+	var ys []float64
+	for i := range ivs {
+		lo := rng.Float64() * 1000
+		hi := lo + rng.Float64()*200
+		ivs[i] = Interval{lo, hi}
+		ys = append(ys, lo, hi)
+	}
+	ys = Dedup(ys)
+	tr := Build(ys, n, func(i int32) Interval { return ivs[i] }, 4)
+	beams, total := tr.AllBeams(4)
+	if len(beams) != tr.NumBeams() {
+		t.Fatalf("beams = %d, want %d", len(beams), tr.NumBeams())
+	}
+	sum := 0
+	for b, ids := range beams {
+		sum += len(ids)
+		var want []int32
+		tr.BeamReport(b, func(id int32) { want = append(want, id) })
+		got := append([]int32(nil), ids...)
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("beam %d mismatch", b)
+		}
+	}
+	if sum != total {
+		t.Errorf("total = %d, sum of beams = %d", total, sum)
+	}
+}
+
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 2000
+	ivs := make([]Interval, n)
+	var ys []float64
+	for i := range ivs {
+		lo := float64(rng.Intn(500))
+		hi := lo + 1 + float64(rng.Intn(100))
+		ivs[i] = Interval{lo, hi}
+		ys = append(ys, lo, hi)
+	}
+	ys = Dedup(ys)
+	span := func(i int32) Interval { return ivs[i] }
+	seq := Build(append([]float64(nil), ys...), n, span, 1)
+	parTree := Build(append([]float64(nil), ys...), n, span, 8)
+	for b := 0; b < seq.NumBeams(); b++ {
+		if seq.BeamCount(b) != parTree.BeamCount(b) {
+			t.Fatalf("beam %d: seq %d par %d", b, seq.BeamCount(b), parTree.BeamCount(b))
+		}
+		var a, c []int32
+		seq.BeamReport(b, func(id int32) { a = append(a, id) })
+		parTree.BeamReport(b, func(id int32) { c = append(c, id) })
+		sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+		sort.Slice(c, func(x, y int) bool { return c[x] < c[y] })
+		if !reflect.DeepEqual(a, c) {
+			t.Fatalf("beam %d cover mismatch", b)
+		}
+	}
+}
+
+func TestStabOutsideRange(t *testing.T) {
+	tr := buildSimple(t, []Interval{{0, 1}}, 1)
+	if tr.StabCount(-5) != 0 || tr.StabCount(99) != 0 {
+		t.Error("stab outside range should be 0")
+	}
+	calls := 0
+	tr.StabReport(-5, func(int32) { calls++ })
+	if calls != 0 {
+		t.Error("StabReport outside range should not visit")
+	}
+}
+
+func TestStabAtSharedBoundary(t *testing.T) {
+	// y exactly on an internal boundary resolves to the beam below it,
+	// deterministically.
+	tr := buildSimple(t, []Interval{{0, 1}, {1, 2}}, 1)
+	got := tr.StabCount(1)
+	if got != 1 {
+		t.Errorf("StabCount(1) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,373 @@
+// Package vatti implements the scanbeam plane-sweep clipping algorithm the
+// paper parallelizes (Vatti 1992, the algorithm inside the GPC library the
+// authors used for sequential clipping). The plane is swept bottom-to-top
+// through scanbeams — the horizontal strips between consecutive event
+// y-coordinates (edge endpoints and edge intersections, §III-B). Inside a
+// scanbeam no two active edges cross, so the active edge list ordered by x
+// alternates left/right bounds (Lemma 1); running even-odd parity over the
+// list classifies each strip of the beam as inside or outside each input
+// polygon (Lemmas 2–3), and the strips selected by the clipping operation
+// are emitted as trapezoids. Adjacent beams' trapezoids are merged by
+// cancelling the shared horizontal caps (the paper's virtual vertices k')
+// and stitching the remaining boundary into rings (the paper's Step 4 /
+// Fig. 6 merge).
+//
+// This is the sequential reference engine; package core parallelizes the
+// per-beam work (Algorithm 1) and the slab decomposition (Algorithm 2).
+package vatti
+
+import (
+	"math"
+	"sort"
+
+	"polyclip/internal/geom"
+	"polyclip/internal/isect"
+	"polyclip/internal/overlay"
+	"polyclip/internal/ringstitch"
+	"polyclip/internal/segtree"
+)
+
+// Op aliases the overlay operation set so both engines share one vocabulary.
+type Op = overlay.Op
+
+// Re-exported operations.
+const (
+	Intersection = overlay.Intersection
+	Union        = overlay.Union
+	Difference   = overlay.Difference
+	Xor          = overlay.Xor
+)
+
+// Trapezoid is one piece of the clipped region inside a single scanbeam:
+// the area between scanlines Y1 < Y2, bounded left and right by two
+// non-crossing edges. L1,R1 are the corners on the bottom scanline, L2,R2 on
+// the top; it degenerates to a triangle when two corners coincide.
+type Trapezoid struct {
+	L1, R1, L2, R2 geom.Point
+}
+
+// Ring returns the trapezoid boundary as a counter-clockwise ring.
+func (tz Trapezoid) Ring() geom.Ring {
+	r := geom.Ring{tz.L1}
+	for _, p := range []geom.Point{tz.R1, tz.R2, tz.L2} {
+		if p != r[len(r)-1] && p != r[0] {
+			r = append(r, p)
+		}
+	}
+	return r
+}
+
+// Area returns the trapezoid area.
+func (tz Trapezoid) Area() float64 {
+	return tz.Ring().Area()
+}
+
+// activeEdge is an edge of the input in the active edge list.
+type activeEdge struct {
+	seg   geom.Segment // oriented with A.Y < B.Y
+	owner uint8        // 0 subject, 1 clip
+}
+
+// Clip computes `subject op clip` with the sequential scanbeam sweep.
+func Clip(subject, clip geom.Polygon, op Op) geom.Polygon {
+	return Assemble(Trapezoids(subject, clip, op))
+}
+
+// Trapezoids computes the trapezoid decomposition of `subject op clip` —
+// the raw per-scanbeam output of the sweep, before merging (GPC's tristrip
+// analogue).
+//
+// Horizontal input edges are dropped outright rather than perturbed: the
+// even-odd parity of any scanline strictly inside a beam is unaffected by
+// edges lying on beam boundaries, and the boundary pieces they contribute
+// are regenerated exactly as trapezoid caps. This sidesteps the paper's
+// §III-C perturbation without changing the result.
+func Trapezoids(subject, clip geom.Polygon, op Op) []Trapezoid {
+	subject = dropDegenerate(subject)
+	clip = dropDegenerate(clip)
+
+	edges := collectEdges(subject, clip)
+	if len(edges) == 0 {
+		return nil
+	}
+
+	// Event schedule: endpoint ys plus intersection ys, so that no two
+	// active edges cross strictly inside any beam. Intersections are found
+	// with the paper's scanbeam-inversion method.
+	segs := make([]geom.Segment, len(edges))
+	for i, ae := range edges {
+		segs[i] = ae.seg
+	}
+	pairs := isect.ScanbeamPairs(segs, 1)
+	ys := make([]float64, 0, 2*len(edges)+len(pairs))
+	for _, ae := range edges {
+		ys = append(ys, ae.seg.A.Y, ae.seg.B.Y)
+	}
+	for _, pt := range isect.Points(segs, pairs) {
+		ys = append(ys, pt.Y)
+	}
+	ys = segtree.Dedup(ys)
+	if len(ys) < 2 {
+		return nil
+	}
+
+	// Sweep: per-beam active edge set maintained from per-boundary start
+	// and end buckets (the minima/maxima tables of Vatti's sweep).
+	m := len(ys) - 1
+	starts := make([][]int32, m+1)
+	ends := make([][]int32, m+1)
+	for i, ae := range edges {
+		s := sort.SearchFloat64s(ys, ae.seg.A.Y)
+		e := sort.SearchFloat64s(ys, ae.seg.B.Y)
+		starts[s] = append(starts[s], int32(i))
+		ends[e] = append(ends[e], int32(i))
+	}
+
+	active := make(map[int32]struct{}, 64)
+	var tzs []Trapezoid
+	ids := make([]int32, 0, 64)
+	for b := 0; b < m; b++ {
+		for _, id := range starts[b] {
+			active[id] = struct{}{}
+		}
+		for _, id := range ends[b] {
+			delete(active, id)
+		}
+		if len(active) >= 2 {
+			ids = ids[:0]
+			for id := range active {
+				ids = append(ids, id)
+			}
+			beamTrapezoids(edges, ids, ys[b], ys[b+1], op, &tzs)
+		}
+	}
+	return tzs
+}
+
+// beamTrapezoids emits the op-selected trapezoids of one scanbeam.
+func beamTrapezoids(edges []activeEdge, ids []int32, yb, yt float64, op Op, out *[]Trapezoid) {
+	ymid := (yb + yt) / 2
+	type entry struct {
+		xm    float64
+		id    int32
+		owner uint8
+	}
+	order := make([]entry, len(ids))
+	for i, id := range ids {
+		order[i] = entry{edges[id].seg.XAtY(ymid), id, edges[id].owner}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].xm < order[b].xm })
+
+	// Lemma 1/3: walk left to right flipping per-polygon parity; emit a
+	// trapezoid for every maximal run where the operation holds.
+	var inSub, inClip, inOp bool
+	var left int32 = -1
+	for _, e := range order {
+		if e.owner == 0 {
+			inSub = !inSub
+		} else {
+			inClip = !inClip
+		}
+		now := op.Eval(inSub, inClip)
+		if now && !inOp {
+			left = e.id
+		} else if !now && inOp {
+			l, r := edges[left].seg, edges[e.id].seg
+			*out = append(*out, Trapezoid{
+				L1: geom.Point{X: l.XAtY(yb), Y: yb},
+				R1: geom.Point{X: r.XAtY(yb), Y: yb},
+				L2: geom.Point{X: l.XAtY(yt), Y: yt},
+				R2: geom.Point{X: r.XAtY(yt), Y: yt},
+			})
+		}
+		inOp = now
+	}
+}
+
+// Assemble merges a trapezoid decomposition into polygons: the shared
+// horizontal caps between vertically adjacent trapezoids cancel (after
+// splitting caps at each other's endpoints) and the remaining directed
+// boundary stitches into rings. This is the merge phase of the paper's
+// Algorithm 1 (Fig. 6), in its flat single-pass form.
+func Assemble(tzs []Trapezoid) geom.Polygon {
+	if len(tzs) == 0 {
+		return nil
+	}
+	// Corners of adjacent trapezoids that represent the same arrangement
+	// vertex can differ by an ulp when computed through different edges
+	// (e.g. the two edges of a crossing). Cluster near-identical corners
+	// onto shared representatives so the edge graph balances exactly.
+	tzs = snapCorners(tzs)
+	// Cap intervals per boundary y: +1 for bottom caps (interior above),
+	// -1 for top caps (interior below).
+	type capIv struct {
+		x0, x1 float64
+		dir    int
+	}
+	caps := make(map[float64][]capIv, 64)
+	var sides []ringstitch.Edge
+	for _, tz := range tzs {
+		if tz.R1.X > tz.L1.X {
+			caps[tz.L1.Y] = append(caps[tz.L1.Y], capIv{tz.L1.X, tz.R1.X, +1})
+		}
+		if tz.R2.X > tz.L2.X {
+			caps[tz.L2.Y] = append(caps[tz.L2.Y], capIv{tz.L2.X, tz.R2.X, -1})
+		}
+		// Right side up, left side down (interior on the left).
+		if tz.R1 != tz.R2 {
+			sides = append(sides, ringstitch.Edge{From: tz.R1, To: tz.R2})
+		}
+		if tz.L1 != tz.L2 {
+			sides = append(sides, ringstitch.Edge{From: tz.L2, To: tz.L1})
+		}
+	}
+
+	edges := ringstitch.CancelOpposites(sides)
+
+	// Per boundary: net coverage sweep over the interval endpoints.
+	for y, ivs := range caps {
+		xs := make([]float64, 0, 2*len(ivs))
+		for _, iv := range ivs {
+			xs = append(xs, iv.x0, iv.x1)
+		}
+		xs = segtree.Dedup(xs)
+		net := make([]int, len(xs)-1)
+		for _, iv := range ivs {
+			a := sort.SearchFloat64s(xs, iv.x0)
+			b := sort.SearchFloat64s(xs, iv.x1)
+			for i := a; i < b; i++ {
+				net[i] += iv.dir
+			}
+		}
+		for i, nv := range net {
+			a := geom.Point{X: xs[i], Y: y}
+			b := geom.Point{X: xs[i+1], Y: y}
+			switch {
+			case nv > 0: // interior above only: boundary traversed +x
+				edges = append(edges, ringstitch.Edge{From: a, To: b})
+			case nv < 0: // interior below only: boundary traversed -x
+				edges = append(edges, ringstitch.Edge{From: b, To: a})
+			}
+		}
+	}
+	return ringstitch.Stitch(edges)
+}
+
+// snapCorners clusters trapezoid corners that coincide up to a few ulps
+// onto a single representative point. Points are sorted lexicographically
+// and greedily grouped within a tolerance proportional to the data extent.
+func snapCorners(tzs []Trapezoid) []Trapezoid {
+	pts := make([]geom.Point, 0, 4*len(tzs))
+	box := geom.EmptyBBox()
+	for _, tz := range tzs {
+		pts = append(pts, tz.L1, tz.R1, tz.L2, tz.R2)
+		box.Extend(tz.L1)
+		box.Extend(tz.R1)
+		box.Extend(tz.L2)
+		box.Extend(tz.R2)
+	}
+	scale := math.Max(box.Width(), box.Height())
+	scale = math.Max(scale, math.Max(math.Abs(box.MaxX), math.Abs(box.MaxY)))
+	if scale == 0 {
+		scale = 1
+	}
+	eps := scale * 1e-12
+
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].X != pts[b].X {
+			return pts[a].X < pts[b].X
+		}
+		return pts[a].Y < pts[b].Y
+	})
+	repr := make(map[geom.Point]geom.Point, len(pts))
+	for i := 0; i < len(pts); {
+		j := i + 1
+		for j < len(pts) && pts[j].X-pts[i].X <= eps && math.Abs(pts[j].Y-pts[i].Y) <= eps {
+			j++
+		}
+		for k := i; k < j; k++ {
+			repr[pts[k]] = pts[i]
+		}
+		i = j
+	}
+	out := make([]Trapezoid, len(tzs))
+	for i, tz := range tzs {
+		out[i] = Trapezoid{L1: repr[tz.L1], R1: repr[tz.R1], L2: repr[tz.L2], R2: repr[tz.R2]}
+	}
+	return out
+}
+
+func dropDegenerate(p geom.Polygon) geom.Polygon {
+	var out geom.Polygon
+	for _, r := range p {
+		if len(r) >= 3 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// collectEdges flattens both polygons into upward-oriented active edges.
+func collectEdges(subject, clip geom.Polygon) []activeEdge {
+	var out []activeEdge
+	add := func(p geom.Polygon, owner uint8) {
+		for _, r := range p {
+			for i := range r {
+				j := (i + 1) % len(r)
+				a, b := r[i], r[j]
+				if a.Y == b.Y {
+					continue // horizontal (only possible post-shear for degenerate dx)
+				}
+				if a.Y > b.Y {
+					a, b = b, a
+				}
+				out = append(out, activeEdge{geom.Segment{A: a, B: b}, owner})
+			}
+		}
+	}
+	add(subject, 0)
+	add(clip, 1)
+	return out
+}
+
+// TriStrip is a triangle strip: vertices v0 v1 v2 ... where every
+// consecutive triple forms a triangle (GPC's tristrip output format for
+// rendering pipelines).
+type TriStrip []geom.Point
+
+// Area returns the total area of the strip's triangles.
+func (ts TriStrip) Area() float64 {
+	var sum float64
+	for i := 0; i+2 < len(ts); i++ {
+		sum += math.Abs(ts[i+1].Sub(ts[i]).Cross(ts[i+2].Sub(ts[i]))) / 2
+	}
+	return sum
+}
+
+// TriStrips converts a trapezoid decomposition into triangle strips, one
+// per trapezoid: (L1, R1, L2, R2), degenerating naturally for triangles.
+// Together with Trapezoids this reproduces GPC's polygon-to-tristrip
+// conversion: vatti.TriStrips(vatti.Trapezoids(a, b, op)).
+func TriStrips(tzs []Trapezoid) []TriStrip {
+	out := make([]TriStrip, 0, len(tzs))
+	for _, tz := range tzs {
+		strip := TriStrip{tz.L1, tz.R1, tz.L2, tz.R2}
+		// Drop duplicated corners (triangle cases).
+		dedup := strip[:0]
+		for _, p := range strip {
+			found := false
+			for _, q := range dedup {
+				if p == q {
+					found = true
+				}
+			}
+			if !found {
+				dedup = append(dedup, p)
+			}
+		}
+		if len(dedup) >= 3 {
+			out = append(out, dedup)
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package vatti
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"polyclip/internal/geom"
+	"polyclip/internal/overlay"
+)
+
+func checkArea(t *testing.T, name string, subj, clip geom.Polygon, op Op, want float64) geom.Polygon {
+	t.Helper()
+	got := Clip(subj, clip, op)
+	if a := got.Area(); math.Abs(a-want) > 1e-6*(1+want) {
+		t.Errorf("%s: area = %v, want %v (rings=%d)", name, a, want, len(got))
+	}
+	return got
+}
+
+func TestRectRectAllOps(t *testing.T) {
+	a := geom.RectPolygon(0, 0, 4, 4)
+	b := geom.RectPolygon(2, 2, 6, 6)
+	checkArea(t, "∩", a, b, Intersection, 4)
+	checkArea(t, "∪", a, b, Union, 28)
+	checkArea(t, "−", a, b, Difference, 12)
+	checkArea(t, "⊕", a, b, Xor, 24)
+}
+
+func TestTrapezoidDecompositionAreas(t *testing.T) {
+	a := geom.RectPolygon(0, 0, 4, 4)
+	b := geom.RectPolygon(2, 2, 6, 6)
+	tzs := Trapezoids(a, b, Intersection)
+	var sum float64
+	for _, tz := range tzs {
+		sum += tz.Area()
+	}
+	if math.Abs(sum-4) > 1e-6 {
+		t.Errorf("trapezoid area sum = %v, want 4", sum)
+	}
+}
+
+func TestTrapezoidRing(t *testing.T) {
+	tz := Trapezoid{
+		L1: geom.Point{X: 0, Y: 0}, R1: geom.Point{X: 4, Y: 0},
+		L2: geom.Point{X: 1, Y: 2}, R2: geom.Point{X: 3, Y: 2},
+	}
+	r := tz.Ring()
+	if len(r) != 4 {
+		t.Fatalf("ring = %v", r)
+	}
+	if !r.IsCCW() {
+		t.Error("trapezoid ring should be CCW")
+	}
+	if math.Abs(tz.Area()-6) > 1e-12 {
+		t.Errorf("area = %v, want 6", tz.Area())
+	}
+	// Degenerate to triangle.
+	tri := Trapezoid{
+		L1: geom.Point{X: 0, Y: 0}, R1: geom.Point{X: 2, Y: 0},
+		L2: geom.Point{X: 1, Y: 2}, R2: geom.Point{X: 1, Y: 2},
+	}
+	if got := len(tri.Ring()); got != 3 {
+		t.Errorf("triangle ring has %d vertices", got)
+	}
+}
+
+func TestHoleOutput(t *testing.T) {
+	outer := geom.RectPolygon(0, 0, 10, 10)
+	inner := geom.RectPolygon(3, 3, 7, 7)
+	got := checkArea(t, "hole", outer, inner, Difference, 84)
+	if len(got) != 2 {
+		t.Errorf("rings = %d, want 2", len(got))
+	}
+}
+
+func TestEmptyAndDisjoint(t *testing.T) {
+	a := geom.RectPolygon(0, 0, 1, 1)
+	b := geom.RectPolygon(5, 5, 6, 6)
+	if got := Clip(a, b, Intersection); got.Area() != 0 {
+		t.Errorf("disjoint ∩ = %v", got)
+	}
+	checkArea(t, "disjoint ∪", a, b, Union, 2)
+	if got := Clip(nil, nil, Union); got != nil {
+		t.Errorf("∅∪∅ = %v", got)
+	}
+}
+
+func TestSelfIntersecting(t *testing.T) {
+	bt := geom.Polygon{geom.BowTie(0, 0, 2, 2)}
+	big := geom.RectPolygon(-1, -1, 3, 3)
+	checkArea(t, "bowtie∩big", bt, big, Intersection, 2)
+}
+
+func TestAgainstOverlayEngineRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		a := geom.Polygon{geom.Star(geom.Point{X: rng.Float64() * 3, Y: rng.Float64() * 3}, 4, 1.5, 4+rng.Intn(7), rng.Float64())}
+		b := geom.Polygon{geom.Star(geom.Point{X: rng.Float64() * 3, Y: rng.Float64() * 3}, 4, 1.5, 4+rng.Intn(7), rng.Float64())}
+		for _, op := range []Op{Intersection, Union, Difference, Xor} {
+			va := Clip(a, b, op).Area()
+			oa := overlay.Clip(a, b, op, overlay.Options{}).Area()
+			if math.Abs(va-oa) > 1e-6*(1+oa) {
+				t.Errorf("trial %d %v: vatti=%v overlay=%v", trial, op, va, oa)
+			}
+		}
+	}
+}
+
+func TestAgainstOverlaySelfIntersecting(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 8; trial++ {
+		a := geom.Polygon{geom.SelfIntersectingStar(geom.Point{X: rng.Float64(), Y: rng.Float64()}, 5, 5, rng.Float64())}
+		b := geom.Polygon{geom.SelfIntersectingStar(geom.Point{X: 1 + rng.Float64(), Y: rng.Float64()}, 5, 7, rng.Float64())}
+		for _, op := range []Op{Intersection, Union, Difference, Xor} {
+			va := Clip(a, b, op).Area()
+			oa := overlay.Clip(a, b, op, overlay.Options{}).Area()
+			if math.Abs(va-oa) > 1e-6*(1+oa) {
+				t.Errorf("trial %d %v: vatti=%v overlay=%v", trial, op, va, oa)
+			}
+		}
+	}
+}
+
+func TestAssembleSingleTrapezoid(t *testing.T) {
+	tz := Trapezoid{
+		L1: geom.Point{X: 0, Y: 0}, R1: geom.Point{X: 2, Y: 0},
+		L2: geom.Point{X: 0, Y: 1}, R2: geom.Point{X: 2, Y: 1},
+	}
+	got := Assemble([]Trapezoid{tz})
+	if len(got) != 1 || math.Abs(got[0].Area()-2) > 1e-12 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAssembleStackedTrapezoidsFuse(t *testing.T) {
+	tzs := []Trapezoid{
+		{L1: geom.Point{X: 0, Y: 0}, R1: geom.Point{X: 2, Y: 0}, L2: geom.Point{X: 0, Y: 1}, R2: geom.Point{X: 2, Y: 1}},
+		{L1: geom.Point{X: 0, Y: 1}, R1: geom.Point{X: 2, Y: 1}, L2: geom.Point{X: 0, Y: 2}, R2: geom.Point{X: 2, Y: 2}},
+	}
+	got := Assemble(tzs)
+	if len(got) != 1 {
+		t.Fatalf("rings = %d, want 1 (caps must cancel)", len(got))
+	}
+	if math.Abs(got[0].Area()-4) > 1e-12 {
+		t.Errorf("area = %v", got[0].Area())
+	}
+}
+
+func TestAssemblePartialCapOverlap(t *testing.T) {
+	// Upper trapezoid narrower than lower: caps cancel only on the shared
+	// x-range.
+	tzs := []Trapezoid{
+		{L1: geom.Point{X: 0, Y: 0}, R1: geom.Point{X: 4, Y: 0}, L2: geom.Point{X: 0, Y: 1}, R2: geom.Point{X: 4, Y: 1}},
+		{L1: geom.Point{X: 1, Y: 1}, R1: geom.Point{X: 3, Y: 1}, L2: geom.Point{X: 1, Y: 2}, R2: geom.Point{X: 3, Y: 2}},
+	}
+	got := Assemble(tzs)
+	area := 0.0
+	for _, r := range got {
+		area += math.Abs(r.SignedArea())
+	}
+	if math.Abs(area-6) > 1e-12 {
+		t.Errorf("area = %v, want 6 (rings=%d)", area, len(got))
+	}
+}
+
+func TestConcaveViaVatti(t *testing.T) {
+	u := geom.Polygon{geom.Ring{
+		{X: 0, Y: 0}, {X: 6, Y: 0}, {X: 6, Y: 5}, {X: 4, Y: 5},
+		{X: 4, Y: 2}, {X: 2, Y: 2}, {X: 2, Y: 5}, {X: 0, Y: 5},
+	}}
+	r := geom.RectPolygon(1, 1, 5, 4)
+	checkArea(t, "u∩r", u, r, Intersection, 8)
+	checkArea(t, "u∪r", u, r, Union, u.Area()+12-8)
+}
+
+func TestMultiPolygonOutput(t *testing.T) {
+	// H-shaped clip against a horizontal band gives two separate rectangles.
+	a := geom.Polygon{geom.Rect(0, 0, 1, 3), geom.Rect(2, 0, 3, 3)}
+	band := geom.RectPolygon(-1, 1, 4, 2)
+	got := checkArea(t, "band∩bars", band, a, Intersection, 2)
+	if len(got) != 2 {
+		t.Errorf("rings = %d, want 2", len(got))
+	}
+}
+
+func TestTriStrips(t *testing.T) {
+	a := geom.RectPolygon(0, 0, 4, 4)
+	b := geom.RectPolygon(2, 2, 6, 6)
+	tzs := Trapezoids(a, b, Intersection)
+	strips := TriStrips(tzs)
+	var sum float64
+	for _, s := range strips {
+		sum += s.Area()
+	}
+	if math.Abs(sum-4) > 1e-6 {
+		t.Errorf("tristrip area = %v, want 4", sum)
+	}
+}
+
+func TestTriStripTriangleDegeneration(t *testing.T) {
+	tri := Trapezoid{
+		L1: geom.Point{X: 0, Y: 0}, R1: geom.Point{X: 2, Y: 0},
+		L2: geom.Point{X: 1, Y: 2}, R2: geom.Point{X: 1, Y: 2},
+	}
+	strips := TriStrips([]Trapezoid{tri})
+	if len(strips) != 1 || len(strips[0]) != 3 {
+		t.Fatalf("strips = %v", strips)
+	}
+	if math.Abs(strips[0].Area()-2) > 1e-12 {
+		t.Errorf("area = %v", strips[0].Area())
+	}
+}

@@ -1,0 +1,243 @@
+// Package wkt reads and writes polygons in Well-Known Text, the
+// interchange format of the GIS tools the paper benchmarks against
+// (ArcGIS, shapefile toolchains). Supported geometries: POLYGON,
+// MULTIPOLYGON and EMPTY variants.
+package wkt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"polyclip/internal/geom"
+)
+
+// Marshal renders a polygon as WKT. A polygon with one ring becomes
+// POLYGON, otherwise MULTIPOLYGON with one polygon per ring (the even-odd
+// model does not track which rings are holes of which).
+func Marshal(p geom.Polygon) string {
+	switch len(p) {
+	case 0:
+		return "POLYGON EMPTY"
+	case 1:
+		return "POLYGON " + polygonBody(p)
+	default:
+		var b strings.Builder
+		b.WriteString("MULTIPOLYGON (")
+		for i, r := range p {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ringBody(r, true))
+		}
+		b.WriteString(")")
+		return b.String()
+	}
+}
+
+// MarshalPolygon renders a polygon as a single POLYGON with all rings
+// (first ring shell, rest holes), for consumers that understand ring
+// nesting.
+func MarshalPolygon(p geom.Polygon) string {
+	if len(p) == 0 {
+		return "POLYGON EMPTY"
+	}
+	return "POLYGON " + polygonBody(p)
+}
+
+func polygonBody(p geom.Polygon) string {
+	var b strings.Builder
+	b.WriteString("(")
+	for i, r := range p {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(ringBody(r, false))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func ringBody(r geom.Ring, wrap bool) string {
+	var b strings.Builder
+	if wrap {
+		b.WriteString("(")
+	}
+	b.WriteString("(")
+	for i, pt := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%g %g", pt.X, pt.Y)
+	}
+	if len(r) > 0 {
+		fmt.Fprintf(&b, ", %g %g", r[0].X, r[0].Y) // close the ring
+	}
+	b.WriteString(")")
+	if wrap {
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Unmarshal parses a POLYGON or MULTIPOLYGON WKT string.
+func Unmarshal(s string) (geom.Polygon, error) {
+	p := &parser{s: s}
+	p.skipSpace()
+	kw := p.keyword()
+	switch kw {
+	case "POLYGON":
+		p.skipSpace()
+		if p.tryKeyword("EMPTY") {
+			return nil, nil
+		}
+		return p.polygon()
+	case "MULTIPOLYGON":
+		p.skipSpace()
+		if p.tryKeyword("EMPTY") {
+			return nil, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var out geom.Polygon
+		for {
+			sub, err := p.polygon()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+			p.skipSpace()
+			if p.tryByte(',') {
+				continue
+			}
+			if err := p.expect(')'); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+	default:
+		return nil, fmt.Errorf("wkt: unsupported geometry %q", kw)
+	}
+}
+
+type parser struct {
+	s   string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t' || p.s[p.pos] == '\n' || p.s[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) keyword() string {
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return strings.ToUpper(p.s[start:p.pos])
+}
+
+func (p *parser) tryKeyword(kw string) bool {
+	save := p.pos
+	if p.keyword() == kw {
+		return true
+	}
+	p.pos = save
+	return false
+}
+
+func (p *parser) tryByte(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.s) && p.s[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.s) || p.s[p.pos] != c {
+		return fmt.Errorf("wkt: expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+// polygon parses "( ring, ring, ... )".
+func (p *parser) polygon() (geom.Polygon, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var out geom.Polygon
+	for {
+		r, err := p.ring()
+		if err != nil {
+			return nil, err
+		}
+		if len(r) >= 3 {
+			out = append(out, r)
+		}
+		if p.tryByte(',') {
+			continue
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// ring parses "( x y, x y, ... )", dropping the closing duplicate vertex.
+func (p *parser) ring() (geom.Ring, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var r geom.Ring
+	for {
+		x, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		y, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		r = append(r, geom.Point{X: x, Y: y})
+		if p.tryByte(',') {
+			continue
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if len(r) > 1 && r[0] == r[len(r)-1] {
+			r = r[:len(r)-1]
+		}
+		return r, nil
+	}
+}
+
+func (p *parser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("wkt: expected number at offset %d", start)
+	}
+	return strconv.ParseFloat(p.s[start:p.pos], 64)
+}

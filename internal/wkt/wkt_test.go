@@ -1,0 +1,110 @@
+package wkt
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"polyclip/internal/geom"
+)
+
+func TestMarshalPolygon(t *testing.T) {
+	p := geom.RectPolygon(0, 0, 2, 2)
+	got := Marshal(p)
+	want := "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestMarshalEmpty(t *testing.T) {
+	if got := Marshal(nil); got != "POLYGON EMPTY" {
+		t.Errorf("got %q", got)
+	}
+	if got := MarshalPolygon(nil); got != "POLYGON EMPTY" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestMarshalMulti(t *testing.T) {
+	p := geom.Polygon{geom.Rect(0, 0, 1, 1), geom.Rect(2, 2, 3, 3)}
+	got := Marshal(p)
+	if !strings.HasPrefix(got, "MULTIPOLYGON ") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []geom.Polygon{
+		geom.RectPolygon(0, 0, 2, 2),
+		{geom.Rect(0, 0, 1, 1), geom.Rect(5, 5, 6, 7)},
+		{geom.RegularPolygon(geom.Point{X: -3.5, Y: 2.25}, 1.5, 7, 0.3)},
+		nil,
+	}
+	for i, p := range cases {
+		s := Marshal(p)
+		got, err := Unmarshal(s)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(p) {
+			t.Fatalf("case %d: rings %d want %d", i, len(got), len(p))
+		}
+		if math.Abs(got.Area()-p.Area()) > 1e-9 {
+			t.Errorf("case %d: area %v want %v", i, got.Area(), p.Area())
+		}
+	}
+}
+
+func TestRoundTripPolygonWithHole(t *testing.T) {
+	hole := geom.Rect(1, 1, 2, 2)
+	hole.Reverse()
+	p := geom.Polygon{geom.Rect(0, 0, 4, 4), hole}
+	s := MarshalPolygon(p)
+	got, err := Unmarshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("got %v want %v", got, p)
+	}
+}
+
+func TestUnmarshalVariants(t *testing.T) {
+	cases := map[string]float64{
+		"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))": 16,
+		"polygon((0 0,4 0,4 4,0 4))":          16, // unclosed, lowercase, tight
+		"POLYGON EMPTY":                       0,
+		"MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((2 2, 3 2, 3 3, 2 3, 2 2)))": 2,
+		"MULTIPOLYGON EMPTY":                          0,
+		"POLYGON ((0 0, 1e1 0, 10 10, 0 1.0E1, 0 0))": 100,
+		"POLYGON ((-1 -1, 1 -1, 1 1, -1 1, -1 -1))":   4,
+	}
+	for s, want := range cases {
+		got, err := Unmarshal(s)
+		if err != nil {
+			t.Errorf("%q: %v", s, err)
+			continue
+		}
+		if math.Abs(got.Area()-want) > 1e-9 {
+			t.Errorf("%q: area %v want %v", s, got.Area(), want)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"LINESTRING (0 0, 1 1)",
+		"POLYGON ((0 0, 1 1",
+		"POLYGON (0 0, 1 1)",
+		"POLYGON ((a b, c d))",
+		"MULTIPOLYGON ((0 0))",
+	}
+	for _, s := range bad {
+		if _, err := Unmarshal(s); err == nil {
+			t.Errorf("%q: expected error", s)
+		}
+	}
+}

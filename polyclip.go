@@ -1,0 +1,191 @@
+// Package polyclip is an output-sensitive parallel polygon clipping library:
+// a Go implementation of Puri & Prasad, "Output-Sensitive Parallel Algorithm
+// for Polygon Clipping" (ICPP 2014).
+//
+// It computes boolean operations — intersection, union, difference and
+// symmetric difference — between arbitrary polygons: convex, concave,
+// multi-contour, and self-intersecting, under the even-odd fill rule. Three
+// execution strategies are provided:
+//
+//   - AlgoOverlay (default): a parallel subdivision/classification engine
+//     built from the paper's primitives (scanbeams, parity prefix sums,
+//     inversion-counting intersection detection).
+//   - AlgoSlabs: the paper's multi-threaded Algorithm 2 — the input is cut
+//     into horizontal slabs balanced by event count, each slab is clipped
+//     by a sequential engine, and the seams are stitched away.
+//   - AlgoScanbeam: the multicore realization of the paper's CREW PRAM
+//     Algorithm 1 — fully parallel over scanbeams, with output-sensitive
+//     work accounting.
+//
+// Quick start:
+//
+//	a := polyclip.Polygon{{{0, 0}, {4, 0}, {4, 4}, {0, 4}}}
+//	b := polyclip.Polygon{{{2, 2}, {6, 2}, {6, 6}, {2, 6}}}
+//	out := polyclip.Clip(a, b, polyclip.Intersection)
+//
+// Layers of polygon features (GIS overlay) are supported through
+// OverlayLayers; WKT I/O through ParseWKT and FormatWKT.
+package polyclip
+
+import (
+	"polyclip/internal/core"
+	"polyclip/internal/geojson"
+	"polyclip/internal/geom"
+	"polyclip/internal/overlay"
+	"polyclip/internal/vatti"
+	"polyclip/internal/wkt"
+)
+
+// Geometric types re-exported from the geometry kernel.
+type (
+	// Point is a point in the plane.
+	Point = geom.Point
+	// Ring is a closed polygonal chain (implicitly closed, first vertex not
+	// repeated).
+	Ring = geom.Ring
+	// Polygon is a set of rings interpreted under the even-odd fill rule.
+	Polygon = geom.Polygon
+	// BBox is an axis-aligned bounding box.
+	BBox = geom.BBox
+	// Layer is a set of polygon features (a GIS layer).
+	Layer = core.Layer
+	// Trapezoid is one scanbeam-bounded piece of a clipped region.
+	Trapezoid = vatti.Trapezoid
+)
+
+// Op is a boolean clipping operation.
+type Op = overlay.Op
+
+// Supported operations.
+const (
+	Intersection = overlay.Intersection
+	Union        = overlay.Union
+	Difference   = overlay.Difference
+	Xor          = overlay.Xor
+)
+
+// Algorithm selects the execution strategy.
+type Algorithm uint8
+
+// Available algorithms.
+const (
+	// AlgoOverlay is the parallel subdivision engine (default).
+	AlgoOverlay Algorithm = iota
+	// AlgoSlabs is the paper's multi-threaded slab decomposition
+	// (Algorithm 2).
+	AlgoSlabs
+	// AlgoScanbeam is the paper's Algorithm 1 parallel-over-scanbeams
+	// pipeline.
+	AlgoScanbeam
+	// AlgoSequential is the single-threaded scanbeam sweep (the Vatti/GPC
+	// reference).
+	AlgoSequential
+)
+
+// FillRule re-exports the overlay engine's fill rules.
+type FillRule = overlay.FillRule
+
+// Supported fill rules.
+const (
+	// EvenOdd (default): inside = odd crossing parity, as in GPC and the
+	// paper.
+	EvenOdd = overlay.EvenOdd
+	// NonZero: inside = nonzero winding number (vector-graphics rule).
+	// Supported by AlgoOverlay; requesting it forces that strategy.
+	NonZero = overlay.NonZero
+)
+
+// Options configures ClipWith.
+type Options struct {
+	// Algorithm selects the execution strategy; zero value is AlgoOverlay.
+	Algorithm Algorithm
+	// Threads bounds the parallelism; <= 0 means all available CPUs.
+	Threads int
+	// Rule is the fill rule; NonZero is only implemented by AlgoOverlay and
+	// overrides the Algorithm selection.
+	Rule FillRule
+}
+
+// Stats re-exports the slab-algorithm phase timings.
+type Stats = core.Stats
+
+// Clip computes `subject op clip` with the default strategy on all CPUs.
+func Clip(subject, clip Polygon, op Op) Polygon {
+	return overlay.Clip(subject, clip, op, overlay.Options{})
+}
+
+// ClipWith computes `subject op clip` with explicit strategy and
+// parallelism. Stats is non-nil only for AlgoSlabs.
+func ClipWith(subject, clip Polygon, op Op, opt Options) (Polygon, *Stats) {
+	if opt.Rule == NonZero {
+		return overlay.Clip(subject, clip, op, overlay.Options{Parallelism: opt.Threads, Rule: NonZero}), nil
+	}
+	switch opt.Algorithm {
+	case AlgoSlabs:
+		return core.ClipPair(subject, clip, op, core.Options{Threads: opt.Threads})
+	case AlgoScanbeam:
+		out, _ := core.AlgorithmOne(subject, clip, op, opt.Threads)
+		return out, nil
+	case AlgoSequential:
+		return vatti.Clip(subject, clip, op), nil
+	default:
+		return overlay.Clip(subject, clip, op, overlay.Options{Parallelism: opt.Threads}), nil
+	}
+}
+
+// Trapezoids returns the trapezoid decomposition of `subject op clip` — the
+// raw scanbeam-sweep output before ring assembly (useful for rendering
+// pipelines that rasterize trapezoids directly).
+func Trapezoids(subject, clip Polygon, op Op) []Trapezoid {
+	return vatti.Trapezoids(subject, clip, op)
+}
+
+// OverlayLayers clips every overlapping feature pair of two layers in
+// parallel (the paper's pthread Algorithm 2 for two sets of polygons) and
+// returns the per-pair results.
+func OverlayLayers(a, b Layer, op Op, opt Options) ([]Polygon, *Stats) {
+	return core.ClipLayers(a, b, op, core.Options{Threads: opt.Threads})
+}
+
+// OverlayLayersMerged fuses each layer into one even-odd region and clips
+// the regions — supports whole-layer union/difference.
+func OverlayLayersMerged(a, b Layer, op Op, opt Options) (Polygon, *Stats) {
+	return core.ClipLayersMerged(a, b, op, core.Options{Threads: opt.Threads})
+}
+
+// ParseWKT parses a POLYGON or MULTIPOLYGON Well-Known Text string.
+func ParseWKT(s string) (Polygon, error) { return wkt.Unmarshal(s) }
+
+// FormatWKT renders a polygon as Well-Known Text.
+func FormatWKT(p Polygon) string { return wkt.Marshal(p) }
+
+// Area returns the even-odd area of a polygon whose rings follow the
+// library's output convention (counter-clockwise outers, clockwise holes).
+func Area(p Polygon) float64 { return p.Area() }
+
+// UnionAll dissolves a set of polygons into their union with a parallel
+// reduction tree (the paper's Fig. 6 merge) — the GIS "dissolve" operation.
+func UnionAll(polys []Polygon, opt Options) Polygon {
+	return core.UnionAll(polys, opt.Threads)
+}
+
+// IntersectAll returns the common region of all the polygons via the same
+// reduction tree.
+func IntersectAll(polys []Polygon, opt Options) Polygon {
+	return core.IntersectAll(polys, opt.Threads)
+}
+
+// ParseGeoJSON parses a GeoJSON Polygon, MultiPolygon, or Feature.
+func ParseGeoJSON(data []byte) (Polygon, error) { return geojson.Unmarshal(data) }
+
+// FormatGeoJSON renders a polygon as a GeoJSON geometry.
+func FormatGeoJSON(p Polygon) ([]byte, error) { return geojson.Marshal(p) }
+
+// ParseGeoJSONLayer parses a GeoJSON FeatureCollection into a layer.
+func ParseGeoJSONLayer(data []byte) (Layer, error) {
+	fs, err := geojson.UnmarshalLayer(data)
+	return Layer(fs), err
+}
+
+// FormatGeoJSONLayer renders a layer as a GeoJSON FeatureCollection.
+func FormatGeoJSONLayer(l Layer) ([]byte, error) { return geojson.MarshalLayer(l) }

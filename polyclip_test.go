@@ -1,0 +1,157 @@
+package polyclip
+
+import (
+	"math"
+	"testing"
+)
+
+func rect(minX, minY, maxX, maxY float64) Polygon {
+	return Polygon{Ring{
+		{X: minX, Y: minY}, {X: maxX, Y: minY}, {X: maxX, Y: maxY}, {X: minX, Y: maxY},
+	}}
+}
+
+func TestClipAllOps(t *testing.T) {
+	a := rect(0, 0, 4, 4)
+	b := rect(2, 2, 6, 6)
+	cases := map[Op]float64{Intersection: 4, Union: 28, Difference: 12, Xor: 24}
+	for op, want := range cases {
+		if got := Area(Clip(a, b, op)); math.Abs(got-want) > 1e-6 {
+			t.Errorf("%v: area = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestClipWithAllAlgorithms(t *testing.T) {
+	a := rect(0, 0, 4, 4)
+	b := rect(2, 2, 6, 6)
+	for _, alg := range []Algorithm{AlgoOverlay, AlgoSlabs, AlgoScanbeam, AlgoSequential} {
+		got, _ := ClipWith(a, b, Intersection, Options{Algorithm: alg, Threads: 3})
+		if math.Abs(Area(got)-4) > 1e-6 {
+			t.Errorf("algorithm %d: area = %v", alg, Area(got))
+		}
+	}
+}
+
+func TestClipWithStatsFromSlabs(t *testing.T) {
+	a := rect(0, 0, 4, 4)
+	b := rect(2, 2, 6, 6)
+	_, st := ClipWith(a, b, Union, Options{Algorithm: AlgoSlabs, Threads: 2})
+	if st == nil || st.Slabs < 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTrapezoids(t *testing.T) {
+	a := rect(0, 0, 4, 4)
+	b := rect(2, 2, 6, 6)
+	tzs := Trapezoids(a, b, Intersection)
+	var sum float64
+	for _, tz := range tzs {
+		sum += tz.Area()
+	}
+	if math.Abs(sum-4) > 1e-6 {
+		t.Errorf("trapezoid area = %v", sum)
+	}
+}
+
+func TestOverlayLayers(t *testing.T) {
+	la := Layer{rect(0, 0, 2, 2), rect(4, 0, 6, 2)}
+	lb := Layer{rect(1, 1, 5, 3)}
+	got, st := OverlayLayers(la, lb, Intersection, Options{Threads: 2})
+	var sum float64
+	for _, g := range got {
+		sum += Area(g)
+	}
+	if math.Abs(sum-2) > 1e-6 {
+		t.Errorf("layer overlay area = %v (results=%d)", sum, len(got))
+	}
+	if st == nil {
+		t.Error("nil stats")
+	}
+	merged, _ := OverlayLayersMerged(la, lb, Union, Options{Threads: 2})
+	if math.Abs(Area(merged)-(4+4+8-2)) > 1e-6 {
+		t.Errorf("merged union area = %v", Area(merged))
+	}
+}
+
+func TestWKTRoundTrip(t *testing.T) {
+	a := rect(0, 0, 4, 4)
+	s := FormatWKT(a)
+	got, err := ParseWKT(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(Area(got)-16) > 1e-9 {
+		t.Errorf("area = %v", Area(got))
+	}
+}
+
+func TestQuickstartDocExample(t *testing.T) {
+	a := rect(0, 0, 4, 4)
+	b := rect(2, 2, 6, 6)
+	out := Clip(a, b, Intersection)
+	if math.Abs(Area(out)-4) > 1e-6 {
+		t.Errorf("doc example area = %v", Area(out))
+	}
+}
+
+func TestUnionAllAndIntersectAll(t *testing.T) {
+	tiles := []Polygon{
+		rect(0, 0, 2, 2), rect(1, 0, 3, 2), rect(2, 0, 4, 2),
+	}
+	u := UnionAll(tiles, Options{Threads: 2})
+	if math.Abs(Area(u)-8) > 1e-6 {
+		t.Errorf("dissolve area = %v, want 8", Area(u))
+	}
+	i := IntersectAll(tiles, Options{Threads: 2})
+	if Area(i) > 1e-9 {
+		t.Errorf("3-way intersection = %v, want 0", Area(i))
+	}
+	over := []Polygon{rect(0, 0, 4, 4), rect(1, 1, 5, 5), rect(2, 2, 6, 6)}
+	i2 := IntersectAll(over, Options{Threads: 2})
+	if math.Abs(Area(i2)-4) > 1e-6 {
+		t.Errorf("3-way overlap = %v, want 4", Area(i2))
+	}
+}
+
+func TestNonZeroRulePublicAPI(t *testing.T) {
+	// Two same-direction overlapping rings: NonZero treats them as a union.
+	p := Polygon{
+		Ring{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}},
+		Ring{{X: 2, Y: 2}, {X: 6, Y: 2}, {X: 6, Y: 6}, {X: 2, Y: 6}},
+	}
+	frame := rect(-1, -1, 7, 7)
+	nz, _ := ClipWith(p, frame, Intersection, Options{Rule: NonZero, Algorithm: AlgoSlabs})
+	if math.Abs(Area(nz)-28) > 1e-6 {
+		t.Errorf("nonzero area = %v, want 28", Area(nz))
+	}
+	eo, _ := ClipWith(p, frame, Intersection, Options{})
+	if math.Abs(Area(eo)-24) > 1e-6 {
+		t.Errorf("even-odd area = %v, want 24", Area(eo))
+	}
+}
+
+func TestGeoJSONRoundTripPublicAPI(t *testing.T) {
+	a := rect(0, 0, 4, 4)
+	raw, err := FormatGeoJSON(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseGeoJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(Area(got)-16) > 1e-12 {
+		t.Errorf("area = %v", Area(got))
+	}
+	layer := Layer{rect(0, 0, 1, 1), rect(2, 2, 3, 3)}
+	lraw, err := FormatGeoJSONLayer(layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lgot, err := ParseGeoJSONLayer(lraw)
+	if err != nil || len(lgot) != 2 {
+		t.Fatalf("layer round trip: %v %v", lgot, err)
+	}
+}
