@@ -1,0 +1,26 @@
+FUZZTIME ?= 10s
+FUZZ_TARGETS := FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip
+
+.PHONY: check build vet test race fuzz
+
+check: vet build test race fuzz
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Each native fuzz target gets a short smoke run; raise FUZZTIME for real
+# fuzzing sessions (e.g. make fuzz FUZZTIME=10m).
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		go test -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) . || exit 1; \
+	done

@@ -1,0 +1,124 @@
+package polyclip
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// wktSeeds is the degenerate seed corpus shared by the parser and clipping
+// fuzz targets: empty geometries, unclosed/duplicated/collinear rings,
+// spikes, holes, self-intersections, huge and tiny coordinates, and
+// syntactically broken inputs.
+var wktSeeds = []string{
+	"POLYGON EMPTY",
+	"MULTIPOLYGON EMPTY",
+	"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+	"POLYGON ((0 0, 4 0, 4 4, 0 4))",
+	"POLYGON ((0 0))",
+	"POLYGON ((0 0, 1 1))",
+	"POLYGON ((0 0, 2 2, 4 4, 3 3))",
+	"POLYGON ((0 0, 0 0, 4 0, 4 4, 4 4, 0 4))",
+	"POLYGON ((0 0, 4 0, 8 0, 4 0, 4 4, 0 4))",
+	"POLYGON ((0 0, 10 0, 10 10, 0 10), (2 2, 8 2, 8 8, 2 8))",
+	"POLYGON ((0 0, 4 4, 4 0, 0 4))",
+	"MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4)), ((10 10, 14 10, 14 14, 10 14)))",
+	"POLYGON ((1e100 1e100, 2e100 1e100, 2e100 2e100))",
+	"POLYGON ((1e-12 0, 2e-12 0, 2e-12 1e-12))",
+	"POLYGON ((-1.5 -2.5, 3.25 -2.5, 3.25 4.75, -1.5 4.75))",
+	"POLYGON ((1e999 0, 1 0, 1 1))",
+	"POLYGON ((NaN 0, 1 0, 1 1))",
+	"POLYGON",
+	"POLYGON ((",
+	"LINESTRING (0 0, 1 1)",
+	"",
+}
+
+// FuzzParseWKT checks the WKT parser never panics and never lets a
+// non-finite coordinate through.
+func FuzzParseWKT(f *testing.F) {
+	for _, s := range wktSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseWKT(s)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted invalid polygon from %q: %v", s, verr)
+		}
+		// Round-trip: what we print must parse again.
+		if _, err := ParseWKT(FormatWKT(p)); err != nil {
+			t.Fatalf("re-parse of %q failed: %v", FormatWKT(p), err)
+		}
+	})
+}
+
+// FuzzParseGeoJSON checks the GeoJSON parser never panics and never lets a
+// non-finite coordinate through.
+func FuzzParseGeoJSON(f *testing.F) {
+	seeds := []string{
+		`{"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4],[0,4],[0,0]]]}`,
+		`{"type":"Polygon","coordinates":[]}`,
+		`{"type":"Polygon","coordinates":[[[0,0],[0,0],[0,0]]]}`,
+		`{"type":"MultiPolygon","coordinates":[[[[0,0],[4,0],[4,4]]],[[[9,9],[12,9],[12,12]]]]}`,
+		`{"type":"Feature","geometry":{"type":"Polygon","coordinates":[[[0,0],[1,0],[1,1]]]}}`,
+		`{"type":"Polygon","coordinates":[[[1e999,0],[1,0],[1,1]]]}`,
+		`{"type":"Point","coordinates":[0,0]}`,
+		`{"type":"Polygon"`,
+		`null`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseGeoJSON(data)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted invalid polygon from %q: %v", data, verr)
+		}
+	})
+}
+
+// FuzzClipRoundTrip throws arbitrary WKT pairs at the hardened clipping
+// pipeline: whatever parses must clip without a crash, and the result must
+// satisfy the same invariants the audit enforces.
+func FuzzClipRoundTrip(f *testing.F) {
+	for i, s := range wktSeeds {
+		f.Add(s, wktSeeds[(i+2)%len(wktSeeds)], uint8(i%4))
+	}
+	f.Fuzz(func(t *testing.T, ws, wc string, opByte uint8) {
+		subject, err := ParseWKT(ws)
+		if err != nil {
+			return
+		}
+		clip, err := ParseWKT(wc)
+		if err != nil {
+			return
+		}
+		// Cap the work per input: the fuzzer's job here is crash hunting,
+		// not throughput.
+		if subject.NumVertices() > 64 || clip.NumVertices() > 64 {
+			return
+		}
+		op := Op(opByte % 4)
+		out, _, err := ClipCtx(context.Background(), subject, clip, op, Options{Threads: 2})
+		if err != nil {
+			// Invalid inputs (overflowing coordinates) are allowed to be
+			// rejected — but only with a real error, never a panic.
+			return
+		}
+		for ri, r := range out {
+			if len(r) < 3 {
+				t.Fatalf("ring %d of result has %d vertices (ops %q %v %q)", ri, len(r), ws, op, wc)
+			}
+		}
+		if a := Area(out); math.IsNaN(a) || math.IsInf(a, 0) {
+			t.Fatalf("non-finite result area (ops %q %v %q)", ws, op, wc)
+		}
+	})
+}

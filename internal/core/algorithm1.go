@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"polyclip/internal/geom"
@@ -31,6 +32,17 @@ type Alg1Report struct {
 // scanbeam-inversion finder for Step 3.2. Returns the result and the
 // output-sensitivity report.
 func AlgorithmOne(a, b geom.Polygon, op Op, p int) (geom.Polygon, Alg1Report) {
+	return AlgorithmOneCtx(context.Background(), a, b, op, p)
+}
+
+// AlgorithmOneCtx is AlgorithmOne with cooperative cancellation: the
+// per-beam classification loop polls ctx and stops early. On a cancelled
+// ctx the returned polygon is nil; callers observe the cancellation via
+// ctx.Err().
+func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom.Polygon, Alg1Report) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p <= 0 {
 		p = par.DefaultParallelism()
 	}
@@ -77,6 +89,9 @@ func AlgorithmOne(a, b geom.Polygon, op Op, p int) (geom.Polygon, Alg1Report) {
 	// which the analysis does not charge for.
 	pairs := isect.ScanbeamPairs(segs, p)
 	rep.K = int(isect.CountCrossings(segs, p))
+	if canceled(ctx) {
+		return nil, rep
+	}
 
 	// Step 1: event schedule (endpoint and intersection ys), sorted.
 	ys := make([]float64, 0, 2*len(edges))
@@ -104,6 +119,9 @@ func AlgorithmOne(a, b geom.Polygon, op Op, p int) (geom.Polygon, Alg1Report) {
 	// Step 3: per-beam classification and trapezoid emission, in parallel.
 	perBeam := make([][]vatti.Trapezoid, len(beams))
 	par.ForEachItem(len(beams), p, func(bi int) {
+		if bi&63 == 0 && canceled(ctx) {
+			return
+		}
 		ids := beams[bi]
 		if len(ids) < 2 {
 			return

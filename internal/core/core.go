@@ -19,11 +19,14 @@
 package core
 
 import (
+	"context"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"polyclip/internal/bandclip"
 	"polyclip/internal/geom"
+	"polyclip/internal/guard"
 	"polyclip/internal/overlay"
 	"polyclip/internal/par"
 	"polyclip/internal/vatti"
@@ -99,6 +102,10 @@ type Options struct {
 	Merge MergeMode
 	// Partition selects the slab boundary placement.
 	Partition PartitionMode
+	// NoFallback disables the per-pair engine rescue in ClipLayersCtx (a
+	// pair whose clip panics is normally retried once with the other
+	// sequential engine before the error is surfaced).
+	NoFallback bool
 }
 
 // Stats reports where the time went, for the paper's figures.
@@ -109,6 +116,23 @@ type Stats struct {
 	Clip      time.Duration   // Step 6: per-slab clipping (wall clock)
 	Merge     time.Duration   // Step 8: merging partial outputs
 	PerThread []time.Duration // per-slab clip time (Fig. 11 load balance)
+	// Resilience records what the hardened clipping path did: input repair,
+	// the engine attempts and their outcomes, and recovered worker panics.
+	Resilience Resilience
+}
+
+// Resilience is the record of the hardened pipeline's interventions for one
+// clipping run.
+type Resilience struct {
+	// Repaired reports that guard.Repair modified an input (duplicate
+	// vertices, spikes, or degenerate rings removed).
+	Repaired bool
+	// Attempts lists every engine attempt as "name:outcome", in order —
+	// e.g. ["slabs:panic", "overlay-coarse:audit-fail", "vatti:ok"].
+	Attempts []string
+	// Recovered counts worker panics that were recovered and rescued by a
+	// fallback engine without surfacing an error.
+	Recovered int
 }
 
 // CriticalPath returns the modelled parallel clip time: the maximum
@@ -164,13 +188,26 @@ func (s *Stats) ModelledParallel(p int) time.Duration {
 
 // engineClip dispatches to the selected sequential engine. snapEps is the
 // vertex grid shared by every slab of one run, so that seam geometry
-// produced independently by different workers quantizes identically.
-func engineClip(e Engine, a, b geom.Polygon, op Op, snapEps float64) geom.Polygon {
+// produced independently by different workers quantizes identically. A
+// cancelled ctx makes the overlay engine bail early; the surrounding loops
+// detect the cancellation and discard the partial output.
+func engineClip(ctx context.Context, e Engine, a, b geom.Polygon, op Op, snapEps float64) geom.Polygon {
 	switch e {
 	case EngineVatti:
 		return vatti.Clip(a, b, op)
 	default:
-		return overlay.Clip(a, b, op, overlay.Options{Parallelism: 1, SnapEps: snapEps})
+		out, _ := overlay.ClipCtx(ctx, a, b, op, overlay.Options{Parallelism: 1, SnapEps: snapEps})
+		return out
+	}
+}
+
+// canceled is the cheap in-loop cancellation poll.
+func canceled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
 	}
 }
 
@@ -197,8 +234,28 @@ func snapEpsFor(a, b geom.Polygon) float64 {
 	return math.Pow(2, math.Ceil(math.Log2(m*1e-12)))
 }
 
-// ClipPair clips two polygons with the multi-threaded Algorithm 2.
+// ClipPair clips two polygons with the multi-threaded Algorithm 2. A worker
+// panic propagates as a panic on the calling goroutine (recoverable); the
+// hardened public API uses ClipPairCtx instead, which returns it as an
+// error.
 func ClipPair(a, b geom.Polygon, op Op, opt Options) (geom.Polygon, *Stats) {
+	out, st, err := ClipPairCtx(context.Background(), a, b, op, opt)
+	if err != nil {
+		panic(err)
+	}
+	return out, st
+}
+
+// ClipPairCtx clips two polygons with the multi-threaded Algorithm 2,
+// cooperatively honoring ctx: the slab loop polls cancellation before each
+// slab, so after ctx is done no further slab is clipped and ctx.Err() is
+// returned. A panic in one slab worker is recovered and returned as a
+// *guard.ClipError carrying the offending slab index and the worker stack,
+// instead of crashing the process.
+func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (geom.Polygon, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := opt.Threads
 	if p <= 0 {
 		p = par.DefaultParallelism()
@@ -215,7 +272,8 @@ func ClipPair(a, b geom.Polygon, op Op, opt Options) (geom.Polygon, *Stats) {
 	ys := eventYs(a, b)
 	st.Sort = time.Since(t0)
 	if len(ys) == 0 {
-		return engineClip(opt.Engine, a, b, op, snapEps), st
+		out := engineClip(ctx, opt.Engine, a, b, op, snapEps)
+		return out, st, ctx.Err()
 	}
 
 	bounds := slabBoundaries(ys, nslabs, opt.Partition)
@@ -223,10 +281,13 @@ func ClipPair(a, b geom.Polygon, op Op, opt Options) (geom.Polygon, *Stats) {
 	st.Slabs = ns
 	if ns <= 1 {
 		t1 := time.Now()
-		out := engineClip(opt.Engine, a, b, op, snapEps)
+		out := engineClip(ctx, opt.Engine, a, b, op, snapEps)
 		st.Clip = time.Since(t1)
 		st.PerThread = []time.Duration{st.Clip}
-		return out, st
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
+		return out, st, nil
 	}
 
 	// Steps 4–5: rectangle-clip both operands into each slab.
@@ -234,27 +295,51 @@ func ClipPair(a, b geom.Polygon, op Op, opt Options) (geom.Polygon, *Stats) {
 	subA := make([]geom.Polygon, ns)
 	subB := make([]geom.Polygon, ns)
 	par.ForEachItem(ns, p, func(i int) {
+		if canceled(ctx) {
+			return
+		}
 		subA[i] = bandclip.Clip(a, bounds[i], bounds[i+1])
 		subB[i] = bandclip.Clip(b, bounds[i], bounds[i+1])
 	})
 	st.Partition = time.Since(t1)
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 
-	// Step 6: per-slab sequential clipping.
+	// Step 6: per-slab sequential clipping. Each worker is panic-isolated:
+	// the first panic is captured with its slab attribution and surfaced as
+	// a structured error after the loop drains.
 	t2 := time.Now()
 	partial := make([]geom.Polygon, ns)
 	st.PerThread = make([]time.Duration, ns)
+	var slabErr atomic.Pointer[guard.ClipError]
 	par.ForEachItem(ns, p, func(i int) {
+		if canceled(ctx) || slabErr.Load() != nil {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				slabErr.CompareAndSwap(nil, guard.FromPanic("slab-clip", i, guard.NoPair, r))
+			}
+		}()
+		guard.Hit("core.slab-clip")
 		ts := time.Now()
-		partial[i] = engineClip(opt.Engine, subA[i], subB[i], op, snapEps)
+		partial[i] = engineClip(ctx, opt.Engine, subA[i], subB[i], op, snapEps)
 		st.PerThread[i] = time.Since(ts)
 	})
 	st.Clip = time.Since(t2)
+	if ce := slabErr.Load(); ce != nil {
+		return nil, st, ce
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 
 	// Step 8: merge.
 	t3 := time.Now()
 	out := mergePartials(partial, bounds, opt.Merge, snapEps, p)
 	st.Merge = time.Since(t3)
-	return out, st
+	return out, st, nil
 }
 
 // eventYs returns the sorted distinct vertex y-coordinates of both operands.

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"polyclip/internal/rtree"
 
 	"polyclip/internal/geom"
+	"polyclip/internal/guard"
 	"polyclip/internal/par"
 )
 
@@ -44,6 +47,24 @@ func (l Layer) BBox() geom.BBox {
 // post-processing. Results are per-pair outputs concatenated; no merge
 // phase is needed.
 func ClipLayers(a, b Layer, op Op, opt Options) ([]geom.Polygon, *Stats) {
+	out, st, err := ClipLayersCtx(context.Background(), a, b, op, opt)
+	if err != nil {
+		panic(err)
+	}
+	return out, st
+}
+
+// ClipLayersCtx is ClipLayers with cooperative cancellation and panic
+// isolation. The pair loop polls ctx, so after cancellation no further
+// feature pair is clipped and ctx.Err() is returned. A panic while clipping
+// one pair is recovered; unless opt.NoFallback is set the pair is retried
+// once with the other sequential engine (the differential rescue, counted
+// in Stats.Resilience.Recovered), and only if that also fails does the
+// *guard.ClipError — carrying the offending pair — surface as the error.
+func ClipLayersCtx(ctx context.Context, a, b Layer, op Op, opt Options) ([]geom.Polygon, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := opt.Threads
 	if p <= 0 {
 		p = par.DefaultParallelism()
@@ -78,7 +99,7 @@ func ClipLayers(a, b Layer, op Op, opt Options) ([]geom.Polygon, *Stats) {
 	ys = dedup
 	st.Sort = time.Since(t0)
 	if len(ys) == 0 {
-		return nil, st
+		return nil, st, ctx.Err()
 	}
 
 	bounds := slabBoundaries(ys, nslabs, opt.Partition)
@@ -108,15 +129,28 @@ func ClipLayers(a, b Layer, op Op, opt Options) ([]geom.Polygon, *Stats) {
 	}
 	st.Partition = time.Since(t1)
 
-	// Per-slab pairwise clipping.
+	// Per-slab pairwise clipping. Each pair clip is panic-isolated and, on
+	// failure, rescued once by the other sequential engine.
 	t2 := time.Now()
 	results := make([][]geom.Polygon, ns)
 	st.PerThread = make([]time.Duration, ns)
+	var firstErr atomic.Pointer[guard.ClipError]
+	var rescued atomic.Int32
 	par.ForEachItem(ns, p, func(s int) {
 		ts := time.Now()
 		var out []geom.Polygon
 		for _, pr := range pairsPerSlab[s] {
-			c := engineClip(opt.Engine, a[pr[0]], b[pr[1]], op, snapEps)
+			if canceled(ctx) || firstErr.Load() != nil {
+				break
+			}
+			c, wasRescued, ce := pairClipSafe(ctx, opt, a[pr[0]], b[pr[1]], op, snapEps, pr)
+			if ce != nil {
+				firstErr.CompareAndSwap(nil, ce)
+				break
+			}
+			if wasRescued {
+				rescued.Add(1)
+			}
 			if len(c) > 0 {
 				out = append(out, c)
 			}
@@ -125,6 +159,13 @@ func ClipLayers(a, b Layer, op Op, opt Options) ([]geom.Polygon, *Stats) {
 		st.PerThread[s] = time.Since(ts)
 	})
 	st.Clip = time.Since(t2)
+	st.Resilience.Recovered = int(rescued.Load())
+	if ce := firstErr.Load(); ce != nil {
+		return nil, st, ce
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 
 	t3 := time.Now()
 	var out []geom.Polygon
@@ -132,7 +173,40 @@ func ClipLayers(a, b Layer, op Op, opt Options) ([]geom.Polygon, *Stats) {
 		out = append(out, r...)
 	}
 	st.Merge = time.Since(t3)
-	return out, st
+	return out, st, nil
+}
+
+// pairClipSafe clips one candidate feature pair with panic isolation: a
+// panic in the selected engine is recovered and — unless opt.NoFallback —
+// the pair is retried once with the other sequential engine. The returned
+// bool reports a successful rescue; a non-nil *guard.ClipError means both
+// the engine and its rescue failed (or fallback was disabled).
+func pairClipSafe(ctx context.Context, opt Options, a, b geom.Polygon, op Op, snapEps float64, pr [2]int32) (geom.Polygon, bool, *guard.ClipError) {
+	run := func(e Engine) (out geom.Polygon, ce *guard.ClipError) {
+		defer func() {
+			if r := recover(); r != nil {
+				ce = guard.FromPanic("pair-clip", -1, [2]int{int(pr[0]), int(pr[1])}, r)
+			}
+		}()
+		guard.Hit("core.pair-clip")
+		return engineClip(ctx, e, a, b, op, snapEps), nil
+	}
+	out, ce := run(opt.Engine)
+	if ce == nil {
+		return out, false, nil
+	}
+	if opt.NoFallback {
+		return nil, false, ce
+	}
+	alt := EngineVatti
+	if opt.Engine == EngineVatti {
+		alt = EngineOverlay
+	}
+	out, ce2 := run(alt)
+	if ce2 != nil {
+		return nil, false, ce // surface the original failure
+	}
+	return out, true, nil
 }
 
 // ClipLayersMerged overlays two layers by fusing each layer into one
@@ -141,6 +215,12 @@ func ClipLayers(a, b Layer, op Op, opt Options) ([]geom.Polygon, *Stats) {
 // between whole layers.
 func ClipLayersMerged(a, b Layer, op Op, opt Options) (geom.Polygon, *Stats) {
 	return ClipPair(flatten(a), flatten(b), op, opt)
+}
+
+// ClipLayersMergedCtx is ClipLayersMerged with cooperative cancellation and
+// panic isolation (see ClipPairCtx).
+func ClipLayersMergedCtx(ctx context.Context, a, b Layer, op Op, opt Options) (geom.Polygon, *Stats, error) {
+	return ClipPairCtx(ctx, flatten(a), flatten(b), op, opt)
 }
 
 func flatten(l Layer) geom.Polygon {

@@ -128,7 +128,11 @@ func geometryToPolygon(g *geometry) (geom.Polygon, error) {
 		if err := json.Unmarshal(g.Coordinates, &coords); err != nil {
 			return nil, err
 		}
-		return coordsToRings(coords), nil
+		out := coordsToRings(coords)
+		if err := out.Validate(); err != nil {
+			return nil, fmt.Errorf("geojson: %v", err)
+		}
+		return out, nil
 	case "MultiPolygon":
 		var multi [][][][2]float64
 		if err := json.Unmarshal(g.Coordinates, &multi); err != nil {
@@ -137,6 +141,9 @@ func geometryToPolygon(g *geometry) (geom.Polygon, error) {
 		var out geom.Polygon
 		for _, coords := range multi {
 			out = append(out, coordsToRings(coords)...)
+		}
+		if err := out.Validate(); err != nil {
+			return nil, fmt.Errorf("geojson: %v", err)
 		}
 		return out, nil
 	default:

@@ -60,6 +60,13 @@ func (p Point) Less(q Point) bool {
 
 func (p Point) String() string { return fmt.Sprintf("(%g,%g)", p.X, p.Y) }
 
+// IsFinite reports whether both coordinates are finite (neither NaN nor
+// ±Inf).
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
 // Segment is a directed straight line segment from A to B.
 type Segment struct {
 	A, B Point
@@ -196,6 +203,19 @@ func (r Ring) Reverse() {
 	}
 }
 
+// Validate returns a descriptive error when the ring contains a non-finite
+// (NaN or ±Inf) coordinate. Such coordinates poison every predicate —
+// comparisons with NaN are false, so sweeps mis-sort and engines can hang
+// or crash — which is why all parse and clip entry points reject them.
+func (r Ring) Validate() error {
+	for i, pt := range r {
+		if !pt.IsFinite() {
+			return fmt.Errorf("vertex %d: non-finite coordinate %v", i, pt)
+		}
+	}
+	return nil
+}
+
 // BBox returns the ring's bounding box.
 func (r Ring) BBox() BBox {
 	b := EmptyBBox()
@@ -252,6 +272,17 @@ func (p Polygon) Area() float64 {
 		s += r.SignedArea()
 	}
 	return math.Abs(s)
+}
+
+// Validate returns a descriptive error when any ring contains a non-finite
+// (NaN or ±Inf) coordinate.
+func (p Polygon) Validate() error {
+	for ri, r := range p {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("ring %d: %w", ri, err)
+		}
+	}
+	return nil
 }
 
 // BBox returns the polygon's bounding box.

@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"context"
 	"sort"
 
 	"polyclip/internal/geom"
@@ -21,7 +22,10 @@ import (
 // the beam directly above along that boundary line. (The paper removes
 // horizontal edges by perturbation; counting parity strictly inside beams
 // makes that unnecessary.)
-func classify(segs []*useg, p int) {
+//
+// Cancellation is polled per beam chunk; on a cancelled ctx classification
+// is partial and the caller must discard the arrangement.
+func classify(ctx context.Context, segs []*useg, p int) {
 	n := len(segs)
 	if n == 0 {
 		return
@@ -51,40 +55,49 @@ func classify(segs []*useg, p int) {
 		firstBeam[i] = sort.SearchFloat64s(ys, segs[i].Lo.Y)
 	})
 
-	par.ForEachItem(len(beams), p, func(b int) {
-		ids := beams[b]
-		if len(ids) == 0 {
-			return
-		}
-		ymid := (ys[b] + ys[b+1]) / 2
-		type entry struct {
-			x  float64
-			id int32
-		}
-		order := make([]entry, len(ids))
-		for k, id := range ids {
-			s := segs[id]
-			order[k] = entry{geom.Segment{A: s.Lo, B: s.Hi}.XAtY(ymid), id}
-		}
-		sort.Slice(order, func(a, c int) bool { return order[a].x < order[c].x })
-
-		// Lemma 3 generalized: running winding numbers of subject / clip
-		// copies to the left (their parities are the paper's 0/1 prefix
-		// sums).
-		var windSub, windClip int16
-		for _, e := range order {
-			s := segs[e.id]
-			if firstBeam[e.id] == b && !s.classify {
-				s.WindSubL = windSub
-				s.WindClipL = windClip
-				s.classify = true
+	par.ForEach(len(beams), p, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			if (b-blo)&63 == 0 && canceled(ctx) {
+				return
 			}
-			windSub += s.WindSub
-			windClip += s.WindClip
+			classifyBeam(segs, ys, beams[b], firstBeam, b)
 		}
 	})
 
-	classifyHorizontals(segs, ys, beams, p)
+	classifyHorizontals(ctx, segs, ys, beams, p)
+}
+
+// classifyBeam runs Lemma 3's parity prefix sums over one scanbeam.
+func classifyBeam(segs []*useg, ys []float64, ids []int32, firstBeam []int, b int) {
+	if len(ids) == 0 {
+		return
+	}
+	ymid := (ys[b] + ys[b+1]) / 2
+	type entry struct {
+		x  float64
+		id int32
+	}
+	order := make([]entry, len(ids))
+	for k, id := range ids {
+		s := segs[id]
+		order[k] = entry{geom.Segment{A: s.Lo, B: s.Hi}.XAtY(ymid), id}
+	}
+	sort.Slice(order, func(a, c int) bool { return order[a].x < order[c].x })
+
+	// Lemma 3 generalized: running winding numbers of subject / clip
+	// copies to the left (their parities are the paper's 0/1 prefix
+	// sums).
+	var windSub, windClip int16
+	for _, e := range order {
+		s := segs[e.id]
+		if firstBeam[e.id] == b && !s.classify {
+			s.WindSubL = windSub
+			s.WindClipL = windClip
+			s.classify = true
+		}
+		windSub += s.WindSub
+		windClip += s.WindClip
+	}
 }
 
 // classifyHorizontals sets the above-side parities of horizontal segments.
@@ -93,7 +106,7 @@ func classify(segs []*useg, p int) {
 // segments in the beam above with x(y) <= x1: after subdivision no segment
 // crosses the open strip above h, and segments emanating from h's endpoints
 // count consistently on both sides.
-func classifyHorizontals(segs []*useg, ys []float64, beams [][]int32, p int) {
+func classifyHorizontals(ctx context.Context, segs []*useg, ys []float64, beams [][]int32, p int) {
 	m := len(ys) - 1
 	byBoundary := make(map[int][]int32)
 	for i, s := range segs {
@@ -113,6 +126,9 @@ func classifyHorizontals(segs []*useg, ys []float64, beams [][]int32, p int) {
 	sort.Ints(bounds)
 
 	par.ForEachItem(len(bounds), p, func(bi int) {
+		if canceled(ctx) {
+			return
+		}
 		b := bounds[bi]
 		y := ys[b]
 		// Cumulative parities over the beam above, ordered by x at y.

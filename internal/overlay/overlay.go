@@ -21,8 +21,11 @@
 package overlay
 
 import (
+	"context"
 	"math"
+
 	"polyclip/internal/geom"
+	"polyclip/internal/guard"
 	"polyclip/internal/isect"
 	"polyclip/internal/par"
 )
@@ -120,6 +123,19 @@ type Options struct {
 // result's outer rings are counter-clockwise and its holes clockwise; an
 // empty polygon is returned when the result is empty.
 func Clip(subject, clip geom.Polygon, op Op, opt Options) geom.Polygon {
+	out, _ := ClipCtx(context.Background(), subject, clip, op, opt)
+	return out
+}
+
+// ClipCtx is Clip with cooperative cancellation: the subdivision and
+// classification stages poll ctx and stop early, and a non-nil error
+// (ctx.Err()) is returned instead of a partial result. With an
+// already-satisfied context it behaves exactly like Clip.
+func ClipCtx(ctx context.Context, subject, clip geom.Polygon, op Op, opt Options) (geom.Polygon, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	guard.Hit("overlay.clip")
 	p := opt.Parallelism
 	if p <= 0 {
 		p = par.DefaultParallelism()
@@ -139,29 +155,29 @@ func Clip(subject, clip geom.Polygon, op Op, opt Options) geom.Polygon {
 	if subject.NumVertices() == 0 {
 		switch op {
 		case Union, Xor:
-			return resolveSelf(clip, eps, opt.Rule, p)
+			return finish(ctx, resolveSelf(ctx, clip, eps, opt.Rule, p))
 		default:
-			return nil
+			return nil, ctx.Err()
 		}
 	}
 	if clip.NumVertices() == 0 {
 		switch op {
 		case Intersection:
-			return nil
+			return nil, ctx.Err()
 		default:
-			return resolveSelf(subject, eps, opt.Rule, p)
+			return finish(ctx, resolveSelf(ctx, subject, eps, opt.Rule, p))
 		}
 	}
 	// Disjoint bounding boxes: no geometry interacts.
 	if !subject.BBox().Intersects(clip.BBox()) {
 		switch op {
 		case Intersection:
-			return nil
+			return nil, ctx.Err()
 		case Difference:
-			return resolveSelf(subject, eps, opt.Rule, p)
+			return finish(ctx, resolveSelf(ctx, subject, eps, opt.Rule, p))
 		default:
-			out := resolveSelf(subject, eps, opt.Rule, p)
-			return append(out, resolveSelf(clip, eps, opt.Rule, p)...)
+			out := resolveSelf(ctx, subject, eps, opt.Rule, p)
+			return finish(ctx, append(out, resolveSelf(ctx, clip, eps, opt.Rule, p)...))
 		}
 	}
 
@@ -192,25 +208,52 @@ func Clip(subject, clip geom.Polygon, op Op, opt Options) geom.Polygon {
 	default:
 		pairs = isect.GridPairs(edges, p)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	segs := subdivide(edges, owners, pairs, eps, p)
-	classify(segs, p)
+	segs := subdivide(ctx, edges, owners, pairs, eps, p)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	classify(ctx, segs, p)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	dirs := selectEdges(segs, op, opt.Rule, p)
-	return stitch(segs, dirs)
+	return stitch(segs, dirs), nil
+}
+
+// finish discards a possibly-partial result when ctx was cancelled.
+func finish(ctx context.Context, out geom.Polygon) (geom.Polygon, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// canceled is the cheap in-loop cancellation poll.
+func canceled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // resolveSelf runs a single polygon through the pipeline (as subject with
 // an empty clip under Xor, whose value is simply "inside subject"),
 // resolving self-intersections and normalizing ring orientations.
-func resolveSelf(poly geom.Polygon, eps float64, rule FillRule, p int) geom.Polygon {
+func resolveSelf(ctx context.Context, poly geom.Polygon, eps float64, rule FillRule, p int) geom.Polygon {
 	if poly.NumVertices() == 0 {
 		return nil
 	}
 	poly = snapPolygon(poly, eps)
 	edges, owners := gatherEdges(poly, nil)
 	pairs := isect.GridPairs(edges, p)
-	segs := subdivide(edges, owners, pairs, eps, p)
-	classify(segs, p)
+	segs := subdivide(ctx, edges, owners, pairs, eps, p)
+	classify(ctx, segs, p)
 	dirs := selectEdges(segs, Xor, rule, p)
 	return stitch(segs, dirs)
 }
@@ -239,6 +282,11 @@ func hasHorizontalEdge(poly geom.Polygon) bool {
 	}
 	return false
 }
+
+// SnapEpsFor returns the default vertex-snapping tolerance for a pair of
+// operands — exported so the hardened pipeline can retry a failed clip on
+// a deliberately coarser grid.
+func SnapEpsFor(a, b geom.Polygon) float64 { return snapEpsFor(a, b) }
 
 // snapEpsFor picks a vertex-snapping tolerance proportional to the data
 // magnitude.

@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -87,7 +88,9 @@ func snapPolygon(p geom.Polygon, eps float64) geom.Polygon {
 // and merges geometric duplicates, returning the unique sub-segments with
 // multiplicities. The split-point computation is parallel over pairs; the
 // merge is a sequential hash fold (cheap relative to intersection finding).
-func subdivide(edges []geom.Segment, owners []uint8, pairs []isect.Pair, eps float64, p int) []*useg {
+// Cancellation is polled periodically; on a cancelled ctx the returned
+// arrangement is partial and the caller must discard it.
+func subdivide(ctx context.Context, edges []geom.Segment, owners []uint8, pairs []isect.Pair, eps float64, p int) []*useg {
 	sn := newSnapper(eps)
 
 	// Intersection points per edge, computed in parallel over pairs into
@@ -110,6 +113,9 @@ func subdivide(edges []geom.Segment, owners []uint8, pairs []isect.Pair, eps flo
 		mu.Unlock()
 		local := buckets[slot]
 		for idx := lo; idx < hi; idx++ {
+			if (idx-lo)&255 == 0 && canceled(ctx) {
+				break
+			}
 			pr := pairs[idx]
 			kind, p0, p1 := geom.SegIntersection(edges[pr.I], edges[pr.J])
 			switch kind {
@@ -157,6 +163,9 @@ func subdivide(edges []geom.Segment, owners []uint8, pairs []isect.Pair, eps flo
 	}
 
 	for i, e := range edges {
+		if i&1023 == 0 && canceled(ctx) {
+			break
+		}
 		pts := splitsPerEdge[int32(i)]
 		if len(pts) == 0 {
 			addPiece(e.A, e.B, owners[i])

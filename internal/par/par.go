@@ -6,9 +6,35 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError wraps a panic recovered in a parallel worker goroutine,
+// carrying the original panic value and the worker's stack trace. ForEach
+// re-raises it on the *calling* goroutine, so a panic in one worker cannot
+// kill the process from an unrecoverable goroutine: a recover anywhere up
+// the caller's stack (in particular the hardened public API, which converts
+// it to a *guard.ClipError) contains the failure.
+type PanicError struct {
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking worker goroutine
+}
+
+// Error formats the wrapped panic.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in parallel worker: %v", e.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // DefaultParallelism returns the degree of parallelism used when a caller
 // passes p <= 0: the number of usable CPUs.
@@ -26,6 +52,10 @@ func normalize(p int) int {
 // chunk concurrently. fn receives the half-open range [lo, hi). ForEach
 // returns when all chunks are done. With p == 1 (or n small) it degenerates
 // to a direct call, adding no goroutine overhead.
+//
+// A panic in a worker goroutine does not crash the process: the first one is
+// captured and re-raised on the calling goroutine as a *PanicError after all
+// workers finish, where callers (or the hardened public API) can recover it.
 func ForEach(n, p int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -39,6 +69,8 @@ func ForEach(n, p int, fn func(lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var pe *PanicError
 	chunk := (n + p - 1) / p
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -48,10 +80,22 @@ func ForEach(n, p int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					w, ok := r.(*PanicError)
+					if !ok {
+						w = &PanicError{Value: r, Stack: debug.Stack()}
+					}
+					panicOnce.Do(func() { pe = w })
+				}
+			}()
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if pe != nil {
+		panic(pe)
+	}
 }
 
 // ForEachItem runs fn(i) for every i in [0, n) with parallelism p, chunked

@@ -367,3 +367,54 @@ func TestPackLargeMatchesFilter(t *testing.T) {
 		t.Fatal("Pack mismatch on large input")
 	}
 }
+
+func TestForEachPanicPropagates(t *testing.T) {
+	var ran atomic.Int32
+	var pe *PanicError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("worker panic was swallowed")
+			}
+			var ok bool
+			pe, ok = r.(*PanicError)
+			if !ok {
+				t.Fatalf("re-raised value is %T, want *PanicError", r)
+			}
+		}()
+		ForEach(1000, 4, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ran.Add(1)
+				if i == 500 {
+					panic("worker boom")
+				}
+			}
+		})
+	}()
+	if pe.Value != "worker boom" {
+		t.Fatalf("panic value %v, want worker boom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no worker stack captured")
+	}
+	// The other workers were allowed to finish: no goroutine was killed
+	// mid-range by the failing one.
+	if ran.Load() == 0 {
+		t.Fatal("no iterations ran")
+	}
+}
+
+func TestForEachItemPanicPropagates(t *testing.T) {
+	defer func() {
+		if _, ok := recover().(*PanicError); !ok {
+			t.Fatal("ForEachItem did not re-raise *PanicError")
+		}
+	}()
+	ForEachItem(100, 4, func(i int) {
+		if i == 42 {
+			panic("item boom")
+		}
+	})
+	t.Fatal("unreachable: panic expected")
+}

@@ -6,6 +6,7 @@ package wkt
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -239,5 +240,12 @@ func (p *parser) number() (float64, error) {
 	if start == p.pos {
 		return 0, fmt.Errorf("wkt: expected number at offset %d", start)
 	}
-	return strconv.ParseFloat(p.s[start:p.pos], 64)
+	v, err := strconv.ParseFloat(p.s[start:p.pos], 64)
+	if err != nil {
+		return 0, fmt.Errorf("wkt: bad number %q at offset %d: %v", p.s[start:p.pos], start, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("wkt: non-finite coordinate %q at offset %d", p.s[start:p.pos], start)
+	}
+	return v, nil
 }

@@ -28,6 +28,8 @@
 package polyclip
 
 import (
+	"context"
+
 	"polyclip/internal/core"
 	"polyclip/internal/geojson"
 	"polyclip/internal/geom"
@@ -95,7 +97,7 @@ const (
 	NonZero = overlay.NonZero
 )
 
-// Options configures ClipWith.
+// Options configures ClipWith and the hardened Ctx entry points.
 type Options struct {
 	// Algorithm selects the execution strategy; zero value is AlgoOverlay.
 	Algorithm Algorithm
@@ -104,33 +106,33 @@ type Options struct {
 	// Rule is the fill rule; NonZero is only implemented by AlgoOverlay and
 	// overrides the Algorithm selection.
 	Rule FillRule
+	// Slabs is the slab count for AlgoSlabs and the layer overlay; 0 means
+	// one per thread.
+	Slabs int
+	// NoFallback disables the differential-fallback chain: the first engine
+	// failure (panic or failed audit) surfaces directly instead of being
+	// retried on a coarser grid or a different engine.
+	NoFallback bool
 }
 
 // Stats re-exports the slab-algorithm phase timings.
 type Stats = core.Stats
 
 // Clip computes `subject op clip` with the default strategy on all CPUs.
+// It never returns an error: invalid inputs yield an empty result and
+// recoverable failures are absorbed by the fallback chain. Use ClipCtx for
+// error reporting and cancellation.
 func Clip(subject, clip Polygon, op Op) Polygon {
-	return overlay.Clip(subject, clip, op, overlay.Options{})
+	out, _, _ := ClipCtx(context.Background(), subject, clip, op, Options{})
+	return out
 }
 
 // ClipWith computes `subject op clip` with explicit strategy and
-// parallelism. Stats is non-nil only for AlgoSlabs.
+// parallelism through the hardened pipeline (see ClipCtx). It never
+// returns an error; Stats.Resilience records any repair or fallback taken.
 func ClipWith(subject, clip Polygon, op Op, opt Options) (Polygon, *Stats) {
-	if opt.Rule == NonZero {
-		return overlay.Clip(subject, clip, op, overlay.Options{Parallelism: opt.Threads, Rule: NonZero}), nil
-	}
-	switch opt.Algorithm {
-	case AlgoSlabs:
-		return core.ClipPair(subject, clip, op, core.Options{Threads: opt.Threads})
-	case AlgoScanbeam:
-		out, _ := core.AlgorithmOne(subject, clip, op, opt.Threads)
-		return out, nil
-	case AlgoSequential:
-		return vatti.Clip(subject, clip, op), nil
-	default:
-		return overlay.Clip(subject, clip, op, overlay.Options{Parallelism: opt.Threads}), nil
-	}
+	out, st, _ := ClipCtx(context.Background(), subject, clip, op, opt)
+	return out, st
 }
 
 // Trapezoids returns the trapezoid decomposition of `subject op clip` — the
@@ -142,15 +144,19 @@ func Trapezoids(subject, clip Polygon, op Op) []Trapezoid {
 
 // OverlayLayers clips every overlapping feature pair of two layers in
 // parallel (the paper's pthread Algorithm 2 for two sets of polygons) and
-// returns the per-pair results.
+// returns the per-pair results. It never returns an error; use
+// OverlayLayersCtx for error reporting and cancellation.
 func OverlayLayers(a, b Layer, op Op, opt Options) ([]Polygon, *Stats) {
-	return core.ClipLayers(a, b, op, core.Options{Threads: opt.Threads})
+	out, st, _ := OverlayLayersCtx(context.Background(), a, b, op, opt)
+	return out, st
 }
 
 // OverlayLayersMerged fuses each layer into one even-odd region and clips
-// the regions — supports whole-layer union/difference.
+// the regions — supports whole-layer union/difference. It never returns an
+// error; use OverlayLayersMergedCtx for error reporting and cancellation.
 func OverlayLayersMerged(a, b Layer, op Op, opt Options) (Polygon, *Stats) {
-	return core.ClipLayersMerged(a, b, op, core.Options{Threads: opt.Threads})
+	out, st, _ := OverlayLayersMergedCtx(context.Background(), a, b, op, opt)
+	return out, st
 }
 
 // ParseWKT parses a POLYGON or MULTIPOLYGON Well-Known Text string.

@@ -155,3 +155,47 @@ func TestGeoJSONRoundTripPublicAPI(t *testing.T) {
 		t.Fatalf("layer round trip: %v %v", lgot, err)
 	}
 }
+
+// TestDegenerateInputsAllAlgorithmsAgree feeds classic degenerate inputs to
+// every execution strategy and checks they neither crash nor disagree: the
+// repair pass normalizes the garbage away, so all four engines must land on
+// the same region.
+func TestDegenerateInputsAllAlgorithmsAgree(t *testing.T) {
+	clip := rect(2, 2, 6, 6)
+	cases := []struct {
+		name    string
+		subject Polygon
+		area    float64 // expected intersection area with clip
+	}{
+		{"empty polygon", Polygon{}, 0},
+		{"single-point ring", Polygon{{{X: 3, Y: 3}}}, 0},
+		{"two-point ring", Polygon{{{X: 3, Y: 3}, {X: 5, Y: 5}}}, 0},
+		{"all-collinear ring", Polygon{{{X: 0, Y: 0}, {X: 2, Y: 2}, {X: 4, Y: 4}, {X: 3, Y: 3}}}, 0},
+		{"duplicate consecutive vertices", Polygon{{
+			{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 4, Y: 4}, {X: 0, Y: 4},
+		}}, 4},
+		{"zero-area spike", Polygon{{
+			{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 8, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4},
+		}}, 4},
+		{"explicitly closed ring", Polygon{{
+			{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}, {X: 0, Y: 0},
+		}}, 4},
+	}
+	algs := []struct {
+		name string
+		alg  Algorithm
+	}{
+		{"overlay", AlgoOverlay}, {"slabs", AlgoSlabs},
+		{"scanbeam", AlgoScanbeam}, {"sequential", AlgoSequential},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, a := range algs {
+				out, _ := ClipWith(tc.subject, clip, Intersection, Options{Algorithm: a.alg})
+				if got := Area(out); math.Abs(got-tc.area) > 1e-9 {
+					t.Errorf("%s: area %g, want %g (result %v)", a.name, got, tc.area, out)
+				}
+			}
+		})
+	}
+}

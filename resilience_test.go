@@ -1,0 +1,290 @@
+package polyclip
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"polyclip/internal/guard"
+)
+
+// circle builds a many-vertex regular polygon so multi-slab runs have
+// enough events to actually produce many slabs.
+func circle(cx, cy, r float64, n int) Polygon {
+	ring := make(Ring, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		ring[i] = Point{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)}
+	}
+	return Polygon{ring}
+}
+
+func attemptsOf(st *Stats) string {
+	if st == nil {
+		return ""
+	}
+	return strings.Join(st.Resilience.Attempts, " ")
+}
+
+func TestClipCtxRejectsInvalidInput(t *testing.T) {
+	bad := Polygon{{{X: math.NaN(), Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}}}
+	good := rect(0, 0, 4, 4)
+	for name, args := range map[string][2]Polygon{
+		"bad subject": {bad, good},
+		"bad clip":    {good, bad},
+	} {
+		_, _, err := ClipCtx(context.Background(), args[0], args[1], Intersection, Options{})
+		if err == nil {
+			t.Fatalf("%s: no error", name)
+		}
+		if !errors.Is(err, ErrInvalidInput) {
+			t.Fatalf("%s: %v does not wrap ErrInvalidInput", name, err)
+		}
+	}
+	huge := Polygon{{{X: 0, Y: 0}, {X: 1e300, Y: 0}, {X: 1e300, Y: 1e300}}}
+	if _, _, err := ClipCtx(context.Background(), huge, good, Union, Options{}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("overflowing coordinates accepted: %v", err)
+	}
+}
+
+func TestClipCtxRepairsDirtyInput(t *testing.T) {
+	// Duplicate consecutive vertices and a zero-area spike: repairable.
+	dirty := Polygon{{
+		{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 4, Y: 0}, {X: 6, Y: 0}, {X: 4, Y: 0},
+		{X: 4, Y: 4}, {X: 0, Y: 4},
+	}}
+	out, st, err := ClipCtx(context.Background(), dirty, rect(2, 2, 6, 6), Intersection, Options{})
+	if err != nil {
+		t.Fatalf("ClipCtx: %v", err)
+	}
+	if !st.Resilience.Repaired {
+		t.Fatal("Repaired flag not set for dirty input")
+	}
+	if a := Area(out); math.Abs(a-4) > 1e-9 {
+		t.Fatalf("intersection area %g, want 4", a)
+	}
+}
+
+func TestClipCtxHappyPathRecordsAttempt(t *testing.T) {
+	out, st, err := ClipCtx(context.Background(), rect(0, 0, 4, 4), rect(2, 2, 6, 6), Intersection, Options{})
+	if err != nil {
+		t.Fatalf("ClipCtx: %v", err)
+	}
+	if a := Area(out); math.Abs(a-4) > 1e-9 {
+		t.Fatalf("area %g, want 4", a)
+	}
+	if got := attemptsOf(st); got != "overlay:ok" {
+		t.Fatalf("attempts %q, want overlay:ok", got)
+	}
+}
+
+func TestSlabPanicReturnsClipError(t *testing.T) {
+	defer guard.ClearFaults()
+	guard.InjectFault("core.slab-clip", guard.Once(func() { panic("injected slab crash") }))
+
+	a := circle(0, 0, 10, 256)
+	b := circle(1, 1, 10, 256)
+	_, st, err := ClipCtx(context.Background(), a, b, Intersection, Options{
+		Algorithm: AlgoSlabs, Threads: 4, NoFallback: true,
+	})
+	if err == nil {
+		t.Fatal("injected slab panic did not surface as an error")
+	}
+	var ce *ClipError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T (%v) is not a *ClipError", err, err)
+	}
+	if ce.Stage != "slab-clip" {
+		t.Fatalf("stage %q, want slab-clip", ce.Stage)
+	}
+	if ce.Slab < 0 {
+		t.Fatalf("no slab attribution: %+v", ce)
+	}
+	if len(ce.Stack) == 0 {
+		t.Fatal("no worker stack captured")
+	}
+	if got := attemptsOf(st); got != "slabs:panic" {
+		t.Fatalf("attempts %q, want slabs:panic", got)
+	}
+}
+
+func TestSlabPanicRescuedByFallback(t *testing.T) {
+	defer guard.ClearFaults()
+	guard.InjectFault("core.slab-clip", guard.Once(func() { panic("transient slab crash") }))
+
+	a := circle(0, 0, 10, 256)
+	b := circle(1, 1, 10, 256)
+	want := Area(Clip(a, b, Intersection))
+	out, st, err := ClipCtx(context.Background(), a, b, Intersection, Options{
+		Algorithm: AlgoSlabs, Threads: 4,
+	})
+	if err != nil {
+		t.Fatalf("fallback chain did not rescue: %v", err)
+	}
+	if a := Area(out); math.Abs(a-want) > 1e-6*want {
+		t.Fatalf("rescued area %g, want %g", a, want)
+	}
+	atts := st.Resilience.Attempts
+	if len(atts) < 2 || atts[0] != "slabs:panic" {
+		t.Fatalf("attempts %v: want slabs:panic followed by a rescue", atts)
+	}
+	if !strings.HasSuffix(atts[len(atts)-1], ":ok") {
+		t.Fatalf("last attempt %q did not succeed", atts[len(atts)-1])
+	}
+}
+
+func TestDifferentialFallbackSequentialRescue(t *testing.T) {
+	defer guard.ClearFaults()
+	// Corrupt the first two results (the parallel overlay attempt and its
+	// coarse-grid retry) so the audit rejects both and the sequential Vatti
+	// engine has to rescue the run.
+	corrupt := func(p Polygon) Polygon {
+		return Polygon{{{X: 0, Y: 0}, {X: 1e6, Y: 0}, {X: 1e6, Y: 1e6}, {X: 0, Y: 1e6}}}
+	}
+	n := 0
+	guard.InjectFault("polyclip.result", func(p Polygon) Polygon {
+		n++
+		if n <= 2 {
+			return corrupt(p)
+		}
+		return p
+	})
+
+	out, st, err := ClipCtx(context.Background(), rect(0, 0, 4, 4), rect(2, 2, 6, 6), Intersection, Options{})
+	if err != nil {
+		t.Fatalf("ClipCtx: %v", err)
+	}
+	if a := Area(out); math.Abs(a-4) > 1e-9 {
+		t.Fatalf("rescued area %g, want 4", a)
+	}
+	want := "overlay:audit-fail overlay-coarse:audit-fail vatti:ok"
+	if got := attemptsOf(st); got != want {
+		t.Fatalf("attempts %q, want %q", got, want)
+	}
+}
+
+func TestAuditInconclusiveReturnsResult(t *testing.T) {
+	defer guard.ClearFaults()
+	// Corrupt every attempt: the chain cannot distinguish a damaged result
+	// from an audit false-positive, so the last attempt's result is
+	// returned, flagged audit-inconclusive.
+	guard.InjectFault("polyclip.result", func(p Polygon) Polygon {
+		return Polygon{{{X: 0, Y: 0}, {X: 1e6, Y: 0}, {X: 1e6, Y: 1e6}, {X: 0, Y: 1e6}}}
+	})
+	out, st, err := ClipCtx(context.Background(), rect(0, 0, 4, 4), rect(2, 2, 6, 6), Intersection, Options{})
+	if err != nil {
+		t.Fatalf("ClipCtx: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no result returned")
+	}
+	atts := st.Resilience.Attempts
+	if len(atts) != 3 || atts[2] != "vatti:audit-inconclusive" {
+		t.Fatalf("attempts %v, want 3 ending in vatti:audit-inconclusive", atts)
+	}
+}
+
+func TestClipCtxCancellationStopsWork(t *testing.T) {
+	defer guard.ClearFaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from inside the first slab worker: every later slab sees the
+	// cancelled ctx before clipping and skips its work.
+	guard.InjectFault("core.slab-clip", guard.Once(cancel))
+
+	a := circle(0, 0, 10, 2048)
+	b := circle(1, 1, 10, 2048)
+	_, st, err := ClipCtx(ctx, a, b, Intersection, Options{
+		Algorithm: AlgoSlabs, Threads: 2, Slabs: 32, NoFallback: true,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if st.Slabs < 8 {
+		t.Fatalf("only %d slabs: the run cannot demonstrate early exit", st.Slabs)
+	}
+	skipped := 0
+	for _, d := range st.PerThread {
+		if d == 0 {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatalf("no slab skipped after cancellation (per-thread: %v)", st.PerThread)
+	}
+	if got := attemptsOf(st); got != "slabs:canceled" {
+		t.Fatalf("attempts %q, want slabs:canceled", got)
+	}
+}
+
+func TestClipCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, _, err := ClipCtx(ctx, rect(0, 0, 4, 4), rect(2, 2, 6, 6), Union, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("partial result returned: %v", out)
+	}
+}
+
+func TestOverlayLayersCtxPairPanic(t *testing.T) {
+	defer guard.ClearFaults()
+	la := Layer{rect(0, 0, 4, 4), rect(10, 0, 14, 4)}
+	lb := Layer{rect(2, 2, 6, 6), rect(12, 2, 16, 6)}
+
+	t.Run("rescued", func(t *testing.T) {
+		guard.InjectFault("core.pair-clip", guard.Once(func() { panic("pair crash") }))
+		defer guard.ClearFaults()
+		out, st, err := OverlayLayersCtx(context.Background(), la, lb, Intersection, Options{Threads: 1})
+		if err != nil {
+			t.Fatalf("pair rescue failed: %v", err)
+		}
+		if len(out) != 2 {
+			t.Fatalf("want 2 pair results, got %d", len(out))
+		}
+		if st.Resilience.Recovered != 1 {
+			t.Fatalf("Recovered = %d, want 1", st.Resilience.Recovered)
+		}
+	})
+	t.Run("surfaced with NoFallback", func(t *testing.T) {
+		guard.InjectFault("core.pair-clip", guard.Once(func() { panic("pair crash") }))
+		defer guard.ClearFaults()
+		_, _, err := OverlayLayersCtx(context.Background(), la, lb, Intersection, Options{Threads: 1, NoFallback: true})
+		var ce *ClipError
+		if !errors.As(err, &ce) {
+			t.Fatalf("error %T (%v) is not a *ClipError", err, err)
+		}
+		if ce.Stage != "pair-clip" {
+			t.Fatalf("stage %q, want pair-clip", ce.Stage)
+		}
+		if ce.Pair[0] < 0 || ce.Pair[1] < 0 {
+			t.Fatalf("no pair attribution: %+v", ce)
+		}
+	})
+	t.Run("invalid feature rejected", func(t *testing.T) {
+		bad := Layer{Polygon{{{X: math.Inf(1), Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}}}}
+		_, _, err := OverlayLayersCtx(context.Background(), bad, lb, Intersection, Options{})
+		if !errors.Is(err, ErrInvalidInput) {
+			t.Fatalf("err %v does not wrap ErrInvalidInput", err)
+		}
+	})
+}
+
+func TestScanbeamAndSequentialChains(t *testing.T) {
+	a, b := rect(0, 0, 4, 4), rect(2, 2, 6, 6)
+	for _, alg := range []Algorithm{AlgoScanbeam, AlgoSequential} {
+		out, st, err := ClipCtx(context.Background(), a, b, Intersection, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("alg %d: %v", alg, err)
+		}
+		if got := Area(out); math.Abs(got-4) > 1e-9 {
+			t.Fatalf("alg %d: area %g, want 4", alg, got)
+		}
+		if len(st.Resilience.Attempts) != 1 || !strings.HasSuffix(st.Resilience.Attempts[0], ":ok") {
+			t.Fatalf("alg %d: attempts %v", alg, st.Resilience.Attempts)
+		}
+	}
+}

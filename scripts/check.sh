@@ -1,0 +1,27 @@
+#!/bin/sh
+# Full verification sweep: vet, build, tests under the race detector, and a
+# short native-fuzz smoke on every fuzz target. Mirrors `make check` for
+# environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race"
+go test -race ./...
+
+for t in FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip; do
+	echo "== fuzz $t ($FUZZTIME)"
+	go test -run='^$' -fuzz="^$t\$" -fuzztime="$FUZZTIME" .
+done
+
+echo "all checks passed"
