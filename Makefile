@@ -1,9 +1,11 @@
 FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip
+CHAOS_SEED ?= 1
+CHAOS_CASES ?= 200
 
-.PHONY: check build vet test race fuzz
+.PHONY: check build vet test race fuzz chaos
 
-check: vet build test race fuzz
+check: vet build test race fuzz chaos
 
 build:
 	go build ./...
@@ -24,3 +26,11 @@ fuzz:
 		echo "fuzz $$t ($(FUZZTIME))"; \
 		go test -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) . || exit 1; \
 	done
+
+# Deterministic chaos sweeps: a clean invariant run, a faulted run (every
+# case takes one injected panic/hang/corruption), and a budgeted faulted run
+# that exercises the stage watchdog. Same seed, same cases, same verdict.
+chaos:
+	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases $(CHAOS_CASES)
+	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases $(CHAOS_CASES) -faults
+	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases 60 -faults -budget 500ms

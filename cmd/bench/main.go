@@ -8,10 +8,15 @@
 //	bench -exp fig10 -scale 0.01   # one experiment at a chosen data scale
 //	bench -exp table1,table2,pram
 //
-// Experiments: table1 table2 table3 fig7 fig8 fig9 fig10 fig11 fig12 pram ablations.
+// Experiments: table1 table2 table3 fig7 fig8 fig9 fig10 fig11 fig12 pram
+// ablations resilience. With -json each experiment is emitted as one JSON
+// object per line ({name, rows, counters}); the resilience experiment's
+// counters are the aggregated Stats.Resilience totals, so a perf trajectory
+// recorded from this output also tracks degradation frequency.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +30,7 @@ func main() {
 	scale := flag.Float64("scale", 0.005, "dataset scale for Table III workloads (1.0 = full paper size)")
 	seed := flag.Int64("seed", 42, "random seed")
 	threads := flag.String("threads", "1,2,4,8,16,32,64", "thread counts for scaling experiments")
+	asJSON := flag.Bool("json", false, "emit one JSON object per experiment instead of formatted text")
 	flag.Parse()
 
 	var ts []int
@@ -43,11 +49,19 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
+	enc := json.NewEncoder(os.Stdout)
 	run := func(name string, fn func() harness.Result) {
 		if !all && !want[name] {
 			return
 		}
 		r := fn()
+		if *asJSON {
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintf(os.Stderr, "encode %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
 		fmt.Println(r.Text)
 	}
 
@@ -76,11 +90,12 @@ func main() {
 		return harness.PramValidation([]int{256, 1024, 4096}, *seed)
 	})
 	run("ablations", func() harness.Result { return harness.Ablations(*seed) })
+	run("resilience", func() harness.Result { return harness.ResilienceSummary(105, *seed) })
 
 	if !all {
 		for e := range want {
 			switch e {
-			case "table1", "table2", "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "pram", "ablations":
+			case "table1", "table2", "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "pram", "ablations", "resilience":
 			default:
 				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
 				os.Exit(2)

@@ -1,0 +1,248 @@
+// Adversarial workload generation. Every generator is driven by an explicit
+// *rand.Rand, so a chaos run is a pure function of its seed: the same seed
+// always replays the same cases, which is what makes a chaos failure
+// debuggable after the fact.
+//
+// The families are chosen from where clippers actually break (Foster &
+// Overfelt's degeneracy catalogue, the paper's §III-C): near-collinear
+// geometry that stresses orientation predicates, shared vertices and edges
+// that produce degenerate intersections, zero-area spikes that must be
+// repaired away, coordinate magnitudes at both ends of the float64 range,
+// and self-intersecting rings whose even-odd measure differs from their
+// shoelace area.
+package chaos
+
+import (
+	"math"
+	"math/rand"
+
+	"polyclip"
+)
+
+// workload is one generated chaos case: an operand pair, the operation to
+// apply, and the family label used in reports. vattiSafe marks families
+// inside the sequential Vatti engine's domain: Vatti collapses
+// near-collinear fans (its sweep cannot separate events closer than its
+// tolerance) and does not resolve operand self-intersections the way the
+// overlay arrangement does, so on those families it is not a usable
+// cross-check reference (see EXPERIMENTS.md and the ROADMAP item).
+type workload struct {
+	name      string
+	a, b      polyclip.Polygon
+	op        polyclip.Op
+	vattiSafe bool
+}
+
+// generators is the cycle of workload families. Order matters only for
+// reproducibility: case i uses generators[i % len] with a case-specific rng.
+var generators = []struct {
+	name      string
+	gen       func(rng *rand.Rand) (a, b polyclip.Polygon)
+	vattiSafe bool
+}{
+	{"random-star", genRandomStars, true},
+	{"near-collinear-fan", genNearCollinearFans, false},
+	{"shared-vertex-grid", genSharedVertexGrids, true},
+	{"spike-ring", genSpikeRings, true},
+	{"scale-huge", genScaleHuge, true},
+	{"scale-tiny", genScaleTiny, true},
+	{"self-touching", genSelfTouching, false},
+}
+
+// buildWorkload deterministically produces case i from the run seed.
+func buildWorkload(seed int64, i int) workload {
+	// A large odd multiplier decorrelates per-case streams while keeping
+	// them a pure function of (seed, i).
+	rng := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
+	g := generators[i%len(generators)]
+	a, b := g.gen(rng)
+	return workload{
+		name:      g.name,
+		a:         a,
+		b:         b,
+		op:        polyclip.Op(i / len(generators) % 4),
+		vattiSafe: g.vattiSafe,
+	}
+}
+
+// star builds an n-point star ring alternating between two radii. With
+// rIn close to rOut it degenerates to a jittered circle; with rIn larger
+// than rOut the ring self-intersects.
+func star(cx, cy, rOut, rIn float64, n int, phase float64) polyclip.Ring {
+	ring := make(polyclip.Ring, 0, 2*n)
+	for i := 0; i < 2*n; i++ {
+		r := rOut
+		if i%2 == 1 {
+			r = rIn
+		}
+		a := phase + math.Pi*float64(i)/float64(n)
+		ring = append(ring, polyclip.Point{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)})
+	}
+	return ring
+}
+
+// genRandomStars is the clean baseline family: two overlapping star
+// polygons with moderate vertex counts and benign coordinates.
+func genRandomStars(rng *rand.Rand) (polyclip.Polygon, polyclip.Polygon) {
+	n := 8 + rng.Intn(40)
+	a := polyclip.Polygon{star(0, 0, 10, 4+6*rng.Float64(), n, rng.Float64())}
+	b := polyclip.Polygon{star(3*rng.Float64(), 3*rng.Float64(), 8, 3+5*rng.Float64(), n/2+3, rng.Float64())}
+	return a, b
+}
+
+// genNearCollinearFans builds slivers whose boundary vertices are almost,
+// but not exactly, collinear — the classic orientation-predicate stress.
+func genNearCollinearFans(rng *rand.Rand) (polyclip.Polygon, polyclip.Polygon) {
+	fan := func(y0, h float64, up bool) polyclip.Ring {
+		n := 10 + rng.Intn(30)
+		ring := make(polyclip.Ring, 0, n+2)
+		for i := 0; i <= n; i++ {
+			x := 20 * float64(i) / float64(n)
+			// Jitter of ~1e-9 of the span: three orders above the 1e-12
+			// relative snap grid, far below anything visible.
+			ring = append(ring, polyclip.Point{X: x, Y: y0 + 2e-8*(rng.Float64()-0.5)})
+		}
+		apex := polyclip.Point{X: 10 + 4*(rng.Float64()-0.5), Y: y0 + h}
+		if !up {
+			apex.Y = y0 - h
+		}
+		return append(ring, apex)
+	}
+	a := polyclip.Polygon{fan(0, 8, true)}
+	b := polyclip.Polygon{fan(4, 8, false)}
+	return a, b
+}
+
+// genSharedVertexGrids builds checkerboards of cells that touch only at
+// shared corners — every interior vertex is a degenerate (vertex-on-vertex)
+// intersection between the operands.
+func genSharedVertexGrids(rng *rand.Rand) (polyclip.Polygon, polyclip.Polygon) {
+	k := 3 + rng.Intn(3)
+	cell := func(i, j int) polyclip.Ring {
+		x, y := float64(i), float64(j)
+		return polyclip.Ring{{X: x, Y: y}, {X: x + 1, Y: y}, {X: x + 1, Y: y + 1}, {X: x, Y: y + 1}}
+	}
+	var a, b polyclip.Polygon
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if (i+j)%2 == 0 {
+				a = append(a, cell(i, j))
+			} else {
+				b = append(b, cell(i, j))
+			}
+		}
+	}
+	// Shift B by half a cell half of the time, so edges (not just corners)
+	// of the two operands coincide.
+	if rng.Intn(2) == 0 {
+		for ri := range b {
+			for vi := range b[ri] {
+				b[ri][vi].X += 0.5
+			}
+		}
+	}
+	return a, b
+}
+
+// genSpikeRings builds squares with zero-area spikes and duplicated
+// vertices — exactly what guard.Repair exists to clean.
+func genSpikeRings(rng *rand.Rand) (polyclip.Polygon, polyclip.Polygon) {
+	spiky := func(x0, y0, w float64) polyclip.Ring {
+		base := polyclip.Ring{
+			{X: x0, Y: y0}, {X: x0 + w, Y: y0}, {X: x0 + w, Y: y0 + w}, {X: x0, Y: y0 + w},
+		}
+		ring := make(polyclip.Ring, 0, 3*len(base))
+		for _, pt := range base {
+			ring = append(ring, pt)
+			switch rng.Intn(3) {
+			case 0: // duplicate vertex
+				ring = append(ring, pt)
+			case 1: // zero-area spike out and back
+				sp := polyclip.Point{X: pt.X + w*rng.Float64(), Y: pt.Y - w*rng.Float64()}
+				ring = append(ring, sp, pt)
+			}
+		}
+		return ring
+	}
+	a := polyclip.Polygon{spiky(0, 0, 6)}
+	b := polyclip.Polygon{spiky(2+2*rng.Float64(), 2+2*rng.Float64(), 6)}
+	return a, b
+}
+
+// genScaleHuge replays the star family at coordinate magnitudes near the
+// validation ceiling, where naive arithmetic overflows.
+func genScaleHuge(rng *rand.Rand) (polyclip.Polygon, polyclip.Polygon) {
+	a, b := genRandomStars(rng)
+	// 2^332 ≈ 8.7e99: a power of two keeps the scaling itself exact.
+	return scalePoly(a, math.Ldexp(1, 332)), scalePoly(b, math.Ldexp(1, 332))
+}
+
+// genScaleTiny replays the star family at subnormal-adjacent magnitudes.
+func genScaleTiny(rng *rand.Rand) (polyclip.Polygon, polyclip.Polygon) {
+	a, b := genRandomStars(rng)
+	return scalePoly(a, math.Ldexp(1, -40)), scalePoly(b, math.Ldexp(1, -40))
+}
+
+// genSelfTouching builds self-intersecting rings (polygrams and bowties)
+// whose even-odd measure differs from their shoelace area.
+func genSelfTouching(rng *rand.Rand) (polyclip.Polygon, polyclip.Polygon) {
+	bowtie := func(cx, cy, w float64) polyclip.Ring {
+		return polyclip.Ring{
+			{X: cx - w, Y: cy - w}, {X: cx + w, Y: cy + w},
+			{X: cx + w, Y: cy - w}, {X: cx - w, Y: cy + w},
+		}
+	}
+	// A {n/k} polygram (pentagram and friends): connecting every k-th
+	// point of a circle self-intersects everywhere and winds the center
+	// region k times, so shoelace and even-odd measure diverge wildly.
+	polygram := func(cx, cy, r float64, n, k int, phase float64) polyclip.Ring {
+		ring := make(polyclip.Ring, 0, n)
+		for i := 0; i < n; i++ {
+			a := phase + 2*math.Pi*float64(i*k%n)/float64(n)
+			ring = append(ring, polyclip.Point{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)})
+		}
+		return ring
+	}
+	n := 5 + 2*rng.Intn(4) // odd n in 5..11, coprime with k=2
+	a := polyclip.Polygon{polygram(0, 0, 8+4*rng.Float64(), n, 2, rng.Float64())}
+	b := polyclip.Polygon{bowtie(2*rng.Float64(), 2*rng.Float64(), 6)}
+	return a, b
+}
+
+// scalePoly returns p with every coordinate multiplied by f.
+func scalePoly(p polyclip.Polygon, f float64) polyclip.Polygon {
+	out := make(polyclip.Polygon, len(p))
+	for ri, r := range p {
+		nr := make(polyclip.Ring, len(r))
+		for vi, pt := range r {
+			nr[vi] = polyclip.Point{X: pt.X * f, Y: pt.Y * f}
+		}
+		out[ri] = nr
+	}
+	return out
+}
+
+// translatePoly returns p with every vertex offset by (dx, dy).
+func translatePoly(p polyclip.Polygon, dx, dy float64) polyclip.Polygon {
+	out := make(polyclip.Polygon, len(p))
+	for ri, r := range p {
+		nr := make(polyclip.Ring, len(r))
+		for vi, pt := range r {
+			nr[vi] = polyclip.Point{X: pt.X + dx, Y: pt.Y + dy}
+		}
+		out[ri] = nr
+	}
+	return out
+}
+
+// dyadicExtent returns the power of two nearest the workload's linear
+// extent — the translation/scaling unit that keeps float arithmetic exact
+// for the invariance checks.
+func dyadicExtent(a, b polyclip.Polygon) float64 {
+	box := a.BBox().Union(b.BBox())
+	m := math.Max(box.Width(), box.Height())
+	if m <= 0 || math.IsInf(m, 0) || math.IsNaN(m) {
+		return 1
+	}
+	return math.Ldexp(1, int(math.Round(math.Log2(m))))
+}

@@ -20,6 +20,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sync/atomic"
 	"time"
@@ -130,9 +131,32 @@ type Resilience struct {
 	// Attempts lists every engine attempt as "name:outcome", in order —
 	// e.g. ["slabs:panic", "overlay-coarse:audit-fail", "vatti:ok"].
 	Attempts []string
-	// Recovered counts worker panics that were recovered and rescued by a
-	// fallback engine without surfacing an error.
+	// Recovered counts worker panics (or abandoned stages) that were rescued
+	// — by a stage retry or a fallback engine — without surfacing an error.
 	Recovered int
+	// StageTimeouts counts pipeline stages abandoned by their watchdog
+	// because the stage's share of the deadline expired before every worker
+	// finished.
+	StageTimeouts int
+	// Retries counts stage-level retry attempts: a timed-out or panicked
+	// stage is re-run once, sequentially, on fresh buffers.
+	Retries int
+	// InvariantFailures counts failed result-invariant checks: audit
+	// rejections in the differential-fallback chain and metamorphic
+	// invariant violations found by the chaos harness.
+	InvariantFailures int
+}
+
+// Merge accumulates another record's counters into r (the Attempts list is
+// concatenated). Used when one logical clip runs several engine attempts,
+// each with its own Stats.
+func (r *Resilience) Merge(o Resilience) {
+	r.Repaired = r.Repaired || o.Repaired
+	r.Attempts = append(r.Attempts, o.Attempts...)
+	r.Recovered += o.Recovered
+	r.StageTimeouts += o.StageTimeouts
+	r.Retries += o.Retries
+	r.InvariantFailures += o.InvariantFailures
 }
 
 // CriticalPath returns the modelled parallel clip time: the maximum
@@ -211,6 +235,106 @@ func canceled(ctx context.Context) bool {
 	}
 }
 
+// Per-stage shares of the remaining deadline budget. Each stage gets its
+// fraction of the time left when it starts (not of the original total), so
+// an early stage finishing fast donates its slack to the later ones and a
+// slow stage cannot starve the merge entirely.
+const (
+	fracSort      = 0.10
+	fracPartition = 0.20
+	fracClip      = 0.55
+	fracMerge     = 0.80 // of whatever remains after the clip stage
+)
+
+// stageRetryBackoff is the pause before a timed-out or panicked stage is
+// retried sequentially — long enough to let a transiently-contended machine
+// breathe, short enough to stay well inside any realistic deadline budget.
+const stageRetryBackoff = 2 * time.Millisecond
+
+// runStage executes one pipeline stage with a watchdog deadline and one
+// retry. When ctx carries a deadline, the stage runs under a child context
+// holding the stage's fractional share of the remaining time; a stage that
+// exceeds its share is abandoned (workers cannot be killed — they keep
+// running and their buffers are discarded, which is why attempt must write
+// only to freshly allocated buffers and commit them only on a nil return).
+// A timed-out or panicked stage is retried once, after a brief backoff,
+// sequentially (p = 1) under the full remaining deadline. When both tries
+// fail the stage error is surfaced as a *guard.ClipError; cancellation or
+// expiry of ctx itself is surfaced as ctx.Err().
+//
+// attempt receives the stage context and the parallelism to use, and must
+// return a *par.StallError if the stage context expired mid-stage (so the
+// watchdog outcome is attributed to the stage, not the run).
+func runStage(ctx context.Context, st *Stats, name string, frac float64, p int, noRetry bool, attempt func(sctx context.Context, p int) error) error {
+	run := func(pp int, share float64) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = guard.FromPanic(name, -1, guard.NoPair, r)
+			}
+		}()
+		sctx := ctx
+		if deadline, ok := ctx.Deadline(); ok {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(ctx, time.Duration(share*float64(time.Until(deadline))))
+			defer cancel()
+		}
+		return attempt(sctx, pp)
+	}
+
+	err := run(p, frac)
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// The run as a whole was cancelled or ran out of deadline: not a
+		// stage-local failure, nothing to retry.
+		return cerr
+	}
+	var stall *par.StallError
+	if errors.As(err, &stall) {
+		st.Resilience.StageTimeouts++
+	}
+	if noRetry {
+		return stageError(name, err)
+	}
+	time.Sleep(stageRetryBackoff)
+	st.Resilience.Retries++
+	if err2 := run(1, 1.0); err2 == nil {
+		st.Resilience.Recovered++
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return stageError(name, err)
+}
+
+// stageError converts a stage failure into the structured *guard.ClipError
+// surfaced to callers, preserving an existing ClipError's deeper
+// attribution and tagging watchdog stalls as timeouts.
+func stageError(stage string, err error) error {
+	var ce *guard.ClipError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	var stall *par.StallError
+	out := &guard.ClipError{Stage: stage, Slab: -1, Pair: guard.NoPair, Value: err, Err: err}
+	if errors.As(err, &stall) {
+		out.Timeout = true
+	}
+	return out
+}
+
+// stallIfExpired maps a stage context that expired while the stage's
+// workers were (cooperatively) draining onto the same *par.StallError the
+// watchdog produces for a hard stall, so runStage treats both identically.
+func stallIfExpired(sctx context.Context) error {
+	if err := sctx.Err(); err != nil {
+		return &par.StallError{Err: err}
+	}
+	return nil
+}
+
 // snapEpsFor picks the shared vertex grid for one clipping run.
 func snapEpsFor(a, b geom.Polygon) float64 {
 	box := a.BBox().Union(b.BBox())
@@ -231,7 +355,7 @@ func snapEpsFor(a, b geom.Polygon) float64 {
 	}
 	// Round the grid up to a power of two so quantizing binary-representable
 	// coordinates (integers, halves, ...) is exact and outputs stay clean.
-	return math.Pow(2, math.Ceil(math.Log2(m*1e-12)))
+	return math.Pow(2, math.Ceil(math.Log2(m*geom.RelEps)))
 }
 
 // ClipPair clips two polygons with the multi-threaded Algorithm 2. A worker
@@ -252,6 +376,16 @@ func ClipPair(a, b geom.Polygon, op Op, opt Options) (geom.Polygon, *Stats) {
 // returned. A panic in one slab worker is recovered and returned as a
 // *guard.ClipError carrying the offending slab index and the worker stack,
 // instead of crashing the process.
+//
+// When ctx carries a deadline, the budget is split across the sweep stages
+// (sort / partition / clip / merge) and each stage runs under a watchdog: a
+// stage whose workers do not finish inside its share — a straggler wedged on
+// pathological geometry, a hung worker — is abandoned and retried once,
+// sequentially, on fresh buffers (Stats.Resilience.StageTimeouts / Retries).
+// Only if the retry also fails does a timeout-flavoured *guard.ClipError
+// surface, feeding the caller's degradation ladder. The run therefore
+// returns within a small factor of the configured deadline even when a
+// worker hangs outright.
 func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (geom.Polygon, *Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -269,8 +403,19 @@ func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (ge
 
 	// Step 1–2: event schedule.
 	t0 := time.Now()
-	ys := eventYs(a, b)
+	var ys []float64
+	err := runStage(ctx, st, "sort", fracSort, p, opt.NoFallback, func(sctx context.Context, pp int) error {
+		var out []float64
+		if err := par.Run(sctx, func() { out = eventYs(a, b, pp) }); err != nil {
+			return err
+		}
+		ys = out
+		return nil
+	})
 	st.Sort = time.Since(t0)
+	if err != nil {
+		return nil, st, err
+	}
 	if len(ys) == 0 {
 		out := engineClip(ctx, opt.Engine, a, b, op, snapEps)
 		return out, st, ctx.Err()
@@ -281,69 +426,121 @@ func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (ge
 	st.Slabs = ns
 	if ns <= 1 {
 		t1 := time.Now()
-		out := engineClip(ctx, opt.Engine, a, b, op, snapEps)
+		var out geom.Polygon
+		err := runStage(ctx, st, "clip", fracClip, p, opt.NoFallback, func(sctx context.Context, _ int) error {
+			var o geom.Polygon
+			if err := par.Run(sctx, func() { o = engineClip(sctx, opt.Engine, a, b, op, snapEps) }); err != nil {
+				return err
+			}
+			if err := stallIfExpired(sctx); err != nil {
+				return err
+			}
+			out = o
+			return nil
+		})
 		st.Clip = time.Since(t1)
-		st.PerThread = []time.Duration{st.Clip}
-		if err := ctx.Err(); err != nil {
+		if err != nil {
 			return nil, st, err
 		}
+		st.PerThread = []time.Duration{st.Clip}
 		return out, st, nil
 	}
 
 	// Steps 4–5: rectangle-clip both operands into each slab.
 	t1 := time.Now()
-	subA := make([]geom.Polygon, ns)
-	subB := make([]geom.Polygon, ns)
-	par.ForEachItem(ns, p, func(i int) {
-		if canceled(ctx) {
-			return
+	var subA, subB []geom.Polygon
+	err = runStage(ctx, st, "partition", fracPartition, p, opt.NoFallback, func(sctx context.Context, pp int) error {
+		sa := make([]geom.Polygon, ns)
+		sb := make([]geom.Polygon, ns)
+		err := par.ForEachCtx(sctx, ns, pp, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if canceled(sctx) {
+					return
+				}
+				sa[i] = bandclip.Clip(a, bounds[i], bounds[i+1])
+				sb[i] = bandclip.Clip(b, bounds[i], bounds[i+1])
+			}
+		})
+		if err != nil {
+			return err
 		}
-		subA[i] = bandclip.Clip(a, bounds[i], bounds[i+1])
-		subB[i] = bandclip.Clip(b, bounds[i], bounds[i+1])
+		if err := stallIfExpired(sctx); err != nil {
+			return err
+		}
+		subA, subB = sa, sb
+		return nil
 	})
 	st.Partition = time.Since(t1)
-	if err := ctx.Err(); err != nil {
+	if err != nil {
 		return nil, st, err
 	}
 
 	// Step 6: per-slab sequential clipping. Each worker is panic-isolated:
-	// the first panic is captured with its slab attribution and surfaced as
-	// a structured error after the loop drains.
+	// the first panic is captured with its slab attribution; the stage retry
+	// (or, failing that, the caller's fallback chain) handles it.
 	t2 := time.Now()
-	partial := make([]geom.Polygon, ns)
-	st.PerThread = make([]time.Duration, ns)
-	var slabErr atomic.Pointer[guard.ClipError]
-	par.ForEachItem(ns, p, func(i int) {
-		if canceled(ctx) || slabErr.Load() != nil {
-			return
-		}
-		defer func() {
-			if r := recover(); r != nil {
-				slabErr.CompareAndSwap(nil, guard.FromPanic("slab-clip", i, guard.NoPair, r))
+	var partial []geom.Polygon
+	err = runStage(ctx, st, "slab-clip", fracClip, p, opt.NoFallback, func(sctx context.Context, pp int) error {
+		pt := make([]geom.Polygon, ns)
+		tt := make([]time.Duration, ns)
+		var slabErr atomic.Pointer[guard.ClipError]
+		err := par.ForEachCtx(sctx, ns, pp, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if canceled(sctx) || slabErr.Load() != nil {
+					return
+				}
+				func(i int) {
+					defer func() {
+						if r := recover(); r != nil {
+							slabErr.CompareAndSwap(nil, guard.FromPanic("slab-clip", i, guard.NoPair, r))
+						}
+					}()
+					guard.Hit("core.slab-clip")
+					ts := time.Now()
+					pt[i] = engineClip(sctx, opt.Engine, subA[i], subB[i], op, snapEps)
+					tt[i] = time.Since(ts)
+				}(i)
 			}
-		}()
-		guard.Hit("core.slab-clip")
-		ts := time.Now()
-		partial[i] = engineClip(ctx, opt.Engine, subA[i], subB[i], op, snapEps)
-		st.PerThread[i] = time.Since(ts)
+		})
+		if err != nil {
+			return err
+		}
+		if ce := slabErr.Load(); ce != nil {
+			return ce
+		}
+		if err := stallIfExpired(sctx); err != nil {
+			return err
+		}
+		partial = pt
+		st.PerThread = tt
+		return nil
 	})
 	st.Clip = time.Since(t2)
-	if ce := slabErr.Load(); ce != nil {
-		return nil, st, ce
-	}
-	if err := ctx.Err(); err != nil {
+	if err != nil {
 		return nil, st, err
 	}
 
 	// Step 8: merge.
 	t3 := time.Now()
-	out := mergePartials(partial, bounds, opt.Merge, snapEps, p)
+	var out geom.Polygon
+	err = runStage(ctx, st, "merge", fracMerge, p, opt.NoFallback, func(sctx context.Context, pp int) error {
+		var o geom.Polygon
+		if err := par.Run(sctx, func() { o = mergePartials(partial, bounds, opt.Merge, snapEps, pp) }); err != nil {
+			return err
+		}
+		out = o
+		return nil
+	})
 	st.Merge = time.Since(t3)
+	if err != nil {
+		return nil, st, err
+	}
 	return out, st, nil
 }
 
-// eventYs returns the sorted distinct vertex y-coordinates of both operands.
-func eventYs(a, b geom.Polygon) []float64 {
+// eventYs returns the sorted distinct vertex y-coordinates of both operands,
+// sorting with parallelism p.
+func eventYs(a, b geom.Polygon, p int) []float64 {
 	var ys []float64
 	for _, poly := range []geom.Polygon{a, b} {
 		for _, r := range poly {
@@ -355,7 +552,7 @@ func eventYs(a, b geom.Polygon) []float64 {
 	if len(ys) == 0 {
 		return nil
 	}
-	par.Sort(ys, func(x, y float64) bool { return x < y }, 0)
+	par.Sort(ys, func(x, y float64) bool { return x < y }, p)
 	out := ys[:0]
 	for i, v := range ys {
 		if i == 0 || v != out[len(out)-1] {

@@ -130,36 +130,48 @@ func ClipLayersCtx(ctx context.Context, a, b Layer, op Op, opt Options) ([]geom.
 	st.Partition = time.Since(t1)
 
 	// Per-slab pairwise clipping. Each pair clip is panic-isolated and, on
-	// failure, rescued once by the other sequential engine.
+	// failure, rescued once by the other sequential engine. The slab loop
+	// runs under a watchdog: if ctx expires while a pair worker is wedged,
+	// the stage is abandoned (buffers discarded, never reused) and a
+	// timeout-flavoured *guard.ClipError is returned instead of blocking
+	// forever.
 	t2 := time.Now()
-	results := make([][]geom.Polygon, ns)
-	st.PerThread = make([]time.Duration, ns)
+	var results [][]geom.Polygon
+	perThread := make([]time.Duration, ns)
 	var firstErr atomic.Pointer[guard.ClipError]
 	var rescued atomic.Int32
-	par.ForEachItem(ns, p, func(s int) {
-		ts := time.Now()
-		var out []geom.Polygon
-		for _, pr := range pairsPerSlab[s] {
-			if canceled(ctx) || firstErr.Load() != nil {
-				break
+	res := make([][]geom.Polygon, ns)
+	werr := par.ForEachCtx(ctx, ns, p, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			ts := time.Now()
+			var out []geom.Polygon
+			for _, pr := range pairsPerSlab[s] {
+				if canceled(ctx) || firstErr.Load() != nil {
+					break
+				}
+				c, wasRescued, ce := pairClipSafe(ctx, opt, a[pr[0]], b[pr[1]], op, snapEps, pr)
+				if ce != nil {
+					firstErr.CompareAndSwap(nil, ce)
+					break
+				}
+				if wasRescued {
+					rescued.Add(1)
+				}
+				if len(c) > 0 {
+					out = append(out, c)
+				}
 			}
-			c, wasRescued, ce := pairClipSafe(ctx, opt, a[pr[0]], b[pr[1]], op, snapEps, pr)
-			if ce != nil {
-				firstErr.CompareAndSwap(nil, ce)
-				break
-			}
-			if wasRescued {
-				rescued.Add(1)
-			}
-			if len(c) > 0 {
-				out = append(out, c)
-			}
+			res[s] = out
+			perThread[s] = time.Since(ts)
 		}
-		results[s] = out
-		st.PerThread[s] = time.Since(ts)
 	})
 	st.Clip = time.Since(t2)
 	st.Resilience.Recovered = int(rescued.Load())
+	if werr != nil {
+		return nil, st, stageError("pair-clip", werr)
+	}
+	st.PerThread = perThread
+	results = res
 	if ce := firstErr.Load(); ce != nil {
 		return nil, st, ce
 	}

@@ -19,6 +19,14 @@ import (
 // coordinates produced by intersection computations.
 const Eps = 1e-9
 
+// RelEps is the relative coordinate tolerance: positions closer than
+// RelEps times the coordinate magnitude are beyond what float64 can
+// meaningfully distinguish after a clipping arrangement is computed. Every
+// tolerance in the pipeline (snap grids, endpoint welds, scanline
+// grouping) derives from it, so the library behaves identically at any
+// coordinate scale.
+const RelEps = 1e-12
+
 // Point is a point in the plane.
 type Point struct {
 	X, Y float64

@@ -153,12 +153,31 @@ func lineIntersectionPoint(s, t Segment) Point {
 	}
 	u := t.A.Sub(s.A).Cross(d) / denom
 	p := Point{s.A.X + u*r.X, s.A.Y + u*r.Y}
+	// The weld tolerance must scale with the data: an absolute tolerance
+	// welds every intersection onto the first endpoint once coordinates
+	// shrink below it, collapsing the whole arrangement.
+	tol := RelEps * segMagnitude(s, t)
 	for _, e := range [...]Point{s.A, s.B, t.A, t.B} {
-		if p.Near(e, Eps) {
+		if p.Near(e, tol) {
 			return e
 		}
 	}
 	return p
+}
+
+// segMagnitude returns the largest coordinate magnitude among the four
+// endpoints of two segments — the scale reference for relative tolerances.
+func segMagnitude(s, t Segment) float64 {
+	m := 0.0
+	for _, e := range [...]Point{s.A, s.B, t.A, t.B} {
+		if a := math.Abs(e.X); a > m {
+			m = a
+		}
+		if a := math.Abs(e.Y); a > m {
+			m = a
+		}
+	}
+	return m
 }
 
 // onSegment reports whether p (known collinear with s) lies within s's box.

@@ -177,13 +177,27 @@ const (
 	OpXor
 )
 
+// MeasureBound returns a cheap sound upper bound on the even-odd measure
+// of a polygon: the sum of its rings' bounding-box areas. Unlike the
+// shoelace ring-sum — which under-states self-intersecting rings (a
+// bowtie's lobes cancel to zero) — this bound holds for arbitrary input,
+// which is what the audit needs: a reference that a *correct* result can
+// never exceed.
+func MeasureBound(p geom.Polygon) float64 {
+	var s float64
+	for _, r := range p {
+		b := r.BBox()
+		s += b.Width() * b.Height()
+	}
+	return s
+}
+
 // Audit is the cheap sanity check of the differential-fallback chain: the
 // result must have well-formed finite rings and an even-odd area within the
-// op-specific upper bound of the input areas. Only upper bounds are checked
-// — lower bounds are unreliable for self-intersecting inputs, whose
-// even-odd measure the ring-sum area estimate can over- or under-state — so
-// a failed audit means the result is certainly damaged, while a passing one
-// is merely plausible.
+// op-specific upper bound of the input measure bounds (see MeasureBound).
+// Only upper bounds are checked — lower bounds are unreliable for
+// self-intersecting inputs — so a failed audit means the result is
+// certainly damaged, while a passing one is merely plausible.
 func Audit(result geom.Polygon, areaSubject, areaClip float64, op OpKind) error {
 	for ri, r := range result {
 		if len(r) < 3 {
@@ -203,7 +217,10 @@ func Audit(result geom.Polygon, areaSubject, areaClip float64, op OpKind) error 
 	default: // Union, Xor
 		bound = areaSubject + areaClip
 	}
-	tol := 1e-6*(areaSubject+areaClip) + 1e-9
+	// Purely relative tolerance: an absolute floor would make the bound
+	// vacuous once input measures drop below it, letting a grossly
+	// corrupted result pass unnoticed at small coordinate scales.
+	tol := 1e-6 * (areaSubject + areaClip)
 	if areaR > bound+tol {
 		return fmt.Errorf("audit: result area %g exceeds %v bound %g (subject %g, clip %g)",
 			areaR, op, bound, areaSubject, areaClip)
@@ -234,18 +251,23 @@ var NoPair = [2]int{-1, -1}
 // the pipeline stage, the offending slab or feature pair (when
 // attributable), the recovered panic value, and the worker's stack.
 type ClipError struct {
-	Stage string  // pipeline stage, e.g. "slab-clip", "pair-clip", "clip"
-	Slab  int     // offending slab index, -1 when not slab-attributable
-	Pair  [2]int  // offending feature pair (a-index, b-index), {-1,-1} when n/a
-	Value any     // the recovered panic value
-	Stack []byte  // stack of the panicking goroutine
-	Err   error   // wrapped error, when the panic value was one
+	Stage   string // pipeline stage, e.g. "slab-clip", "pair-clip", "clip"
+	Slab    int    // offending slab index, -1 when not slab-attributable
+	Pair    [2]int // offending feature pair (a-index, b-index), {-1,-1} when n/a
+	Value   any    // the recovered panic value
+	Stack   []byte // stack of the panicking goroutine
+	Err     error  // wrapped error, when the panic value was one
+	Timeout bool   // the stage was abandoned by its watchdog deadline, not a panic
 }
 
 // Error formats the failure with its attribution.
 func (e *ClipError) Error() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "polyclip: panic in %s", e.Stage)
+	if e.Timeout {
+		fmt.Fprintf(&b, "polyclip: timeout in %s", e.Stage)
+	} else {
+		fmt.Fprintf(&b, "polyclip: panic in %s", e.Stage)
+	}
 	if e.Slab >= 0 {
 		fmt.Fprintf(&b, " (slab %d)", e.Slab)
 	}
@@ -337,6 +359,25 @@ func HitPoly(site string, p geom.Polygon) geom.Polygon {
 		}
 	}
 	return p
+}
+
+// TB is the subset of testing.TB that WithFault needs. Declaring it here
+// keeps the testing package out of this production package's import graph.
+type TB interface {
+	Helper()
+	Cleanup(func())
+}
+
+// WithFault registers fn at the named site for the duration of the test:
+// the fault is injected immediately and every registered fault is cleared
+// through t.Cleanup when the test (or subtest) finishes, so a failing test
+// can never leak a fault into later tests. This is the required idiom for
+// fault injection in tests — raw InjectFault calls without a paired cleanup
+// poison the shared fault table.
+func WithFault(t TB, site string, fn any) {
+	t.Helper()
+	InjectFault(site, fn)
+	t.Cleanup(ClearFaults)
 }
 
 // Once wraps fn so that only the first call fires (later calls no-op) —

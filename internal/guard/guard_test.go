@@ -166,6 +166,19 @@ func TestFaultInjection(t *testing.T) {
 	})
 }
 
+func TestWithFault(t *testing.T) {
+	n := 0
+	t.Run("scoped", func(t *testing.T) {
+		WithFault(t, "site.withfault", func() { n++ })
+		Hit("site.withfault")
+	})
+	// The subtest finished, so its cleanup must have cleared the site.
+	Hit("site.withfault")
+	if n != 1 {
+		t.Fatalf("fault fired %d times, want 1 (WithFault cleanup must clear the site)", n)
+	}
+}
+
 func TestFromPanic(t *testing.T) {
 	ce := FromPanic("slab-clip", 2, NoPair, "boom")
 	if ce.Stage != "slab-clip" || ce.Slab != 2 || ce.Value != "boom" {

@@ -26,10 +26,14 @@ import (
 )
 
 // Result is one experiment's formatted output plus machine-readable rows.
+// Counters carries named scalar metrics (currently the Stats.Resilience
+// counters) for experiments that have them; it is what cmd/bench -json
+// surfaces for trend tracking.
 type Result struct {
-	Name string
-	Text string
-	Rows [][]string
+	Name     string         `json:"name"`
+	Text     string         `json:"-"`
+	Rows     [][]string     `json:"rows"`
+	Counters map[string]int `json:"counters,omitempty"`
 }
 
 func row(cells ...string) []string { return cells }

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"fmt"
+
+	"polyclip/internal/chaos"
+)
+
+// ResilienceSummary runs a fixed-seed chaos workload (no injected faults)
+// through the hardened public clipping path and reports the aggregated
+// Stats.Resilience counters. Emitted alongside the perf experiments so the
+// benchmark trajectory also tracks degradation frequency: a perf win that
+// shows up together with a jump in fallback-steps or retries is not a win.
+func ResilienceSummary(cases int, seed int64) Result {
+	rep := chaos.Run(chaos.Config{Seed: seed, Cases: cases})
+	counters := map[string]int{
+		"clips":               rep.Clips,
+		"structured_errors":   rep.StructuredErrors,
+		"unstructured_errors": rep.UnstructuredErrors,
+		"invariant_checks":    rep.InvariantChecks,
+		"invariant_failures":  rep.InvariantFailures,
+		"repaired_inputs":     rep.Resilience.RepairedInputs,
+		"fallback_steps":      rep.Resilience.FallbackSteps,
+		"recovered":           rep.Resilience.Recovered,
+		"stage_timeouts":      rep.Resilience.StageTimeouts,
+		"retries":             rep.Resilience.Retries,
+		"audit_failures":      rep.Resilience.AuditFailures,
+	}
+	header := []string{"Counter", "Value"}
+	rows := [][]string{
+		row("clips", fmt.Sprint(rep.Clips)),
+		row("structured_errors", fmt.Sprint(rep.StructuredErrors)),
+		row("unstructured_errors", fmt.Sprint(rep.UnstructuredErrors)),
+		row("invariant_checks", fmt.Sprint(rep.InvariantChecks)),
+		row("invariant_failures", fmt.Sprint(rep.InvariantFailures)),
+		row("repaired_inputs", fmt.Sprint(rep.Resilience.RepairedInputs)),
+		row("fallback_steps", fmt.Sprint(rep.Resilience.FallbackSteps)),
+		row("recovered", fmt.Sprint(rep.Resilience.Recovered)),
+		row("stage_timeouts", fmt.Sprint(rep.Resilience.StageTimeouts)),
+		row("retries", fmt.Sprint(rep.Resilience.Retries)),
+		row("audit_failures", fmt.Sprint(rep.Resilience.AuditFailures)),
+	}
+	text := fmt.Sprintf("Resilience — Stats.Resilience counters over %d adversarial cases (seed %d, no injected faults)\n", rep.Cases, seed) +
+		formatRows(header, rows)
+	return Result{Name: "resilience", Text: text, Rows: rows, Counters: counters}
+}

@@ -17,10 +17,12 @@
 package isect
 
 import (
+	"math"
 	"sort"
 	"sync"
 
 	"polyclip/internal/geom"
+	"polyclip/internal/guard"
 	"polyclip/internal/par"
 	"polyclip/internal/segtree"
 )
@@ -79,6 +81,7 @@ func BruteForcePairs(edges []geom.Segment) []Pair {
 // filter with parallelism p. Each edge is binned into the grid cells its
 // bounding box covers; edges sharing a cell are candidates.
 func GridPairs(edges []geom.Segment, p int) []Pair {
+	guard.Hit("isect.pairs")
 	n := len(edges)
 	if n < 2 {
 		return nil
@@ -205,6 +208,7 @@ func GridPairs(edges []geom.Segment, p int) []Pair {
 // O((n + k') log(n + k')) plus the inversion output k, matching the paper's
 // output-sensitive bound.
 func ScanbeamPairs(edges []geom.Segment, p int) []Pair {
+	guard.Hit("isect.pairs")
 	n := len(edges)
 	if n < 2 {
 		return nil
@@ -259,10 +263,22 @@ func ScanbeamPairs(edges []geom.Segment, p int) []Pair {
 			at = append(at, ex{edges[id].XAtY(y), id})
 		}
 		sort.Slice(at, func(a, c int) bool { return at[a].x < at[c].x })
+		// Group within a tolerance relative to the coordinate magnitude:
+		// XAtY roundoff is relative, so an absolute grouping tolerance
+		// either misses touching pairs at huge scales or degenerates to one
+		// quadratic group at tiny ones. verify re-checks every candidate
+		// exactly, so over-grouping costs time, never correctness.
+		maxAbs := 0.0
+		for _, e := range at {
+			if a := math.Abs(e.x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		xEps := geom.RelEps * maxAbs
 		var out []Pair
 		for a := 0; a < len(at); {
 			c := a + 1
-			for c < len(at) && at[c].x-at[a].x <= geom.Eps {
+			for c < len(at) && at[c].x-at[a].x <= xEps {
 				c++
 			}
 			for u := a; u < c; u++ {

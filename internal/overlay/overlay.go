@@ -309,7 +309,7 @@ func snapEpsFor(a, b geom.Polygon) float64 {
 	}
 	// Round the grid up to a power of two so quantizing binary-representable
 	// coordinates (integers, halves, ...) is exact and outputs stay clean.
-	return math.Pow(2, math.Ceil(math.Log2(m*1e-12)))
+	return math.Pow(2, math.Ceil(math.Log2(m*geom.RelEps)))
 }
 
 // gatherEdges flattens both polygons into one edge list with an owner tag

@@ -1,0 +1,114 @@
+package par
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// Edge-of-domain tests for every primitive the pipeline fans out through:
+// empty input, single item, non-positive parallelism (→ DefaultParallelism),
+// and more workers than items. These run under -race in scripts/check.sh,
+// so they also prove the chunking never double-visits or drops an index.
+
+var edgeDims = []struct{ n, p int }{
+	{0, 1}, {0, 0}, {0, -3},
+	{1, 1}, {1, 0}, {1, -1}, {1, 8},
+	{3, 64}, {5, 5},
+}
+
+func TestForEachEdges(t *testing.T) {
+	for _, d := range edgeDims {
+		var visited int64
+		ForEach(d.n, d.p, func(lo, hi int) {
+			if lo < 0 || hi > d.n || lo >= hi {
+				t.Errorf("n=%d p=%d: bad chunk [%d,%d)", d.n, d.p, lo, hi)
+			}
+			atomic.AddInt64(&visited, int64(hi-lo))
+		})
+		if visited != int64(d.n) {
+			t.Errorf("n=%d p=%d: visited %d items", d.n, d.p, visited)
+		}
+	}
+}
+
+func TestForEachItemEdges(t *testing.T) {
+	for _, d := range edgeDims {
+		marks := make([]int32, d.n)
+		ForEachItem(d.n, d.p, func(i int) { atomic.AddInt32(&marks[i], 1) })
+		for i, m := range marks {
+			if m != 1 {
+				t.Errorf("n=%d p=%d: index %d visited %d times", d.n, d.p, i, m)
+			}
+		}
+	}
+}
+
+func TestReduceEdges(t *testing.T) {
+	sum := func(a, b int) int { return a + b }
+	for _, d := range edgeDims {
+		xs := make([]int, d.n)
+		want := 0
+		for i := range xs {
+			xs[i] = i + 1
+			want += i + 1
+		}
+		if got := Reduce(xs, 0, sum, d.p); got != want {
+			t.Errorf("n=%d p=%d: Reduce = %d, want %d", d.n, d.p, got, want)
+		}
+	}
+	if got := Reduce(nil, 42, sum, 4); got != 42 {
+		t.Errorf("Reduce(nil) = %d, want identity 42", got)
+	}
+}
+
+func TestPackEdges(t *testing.T) {
+	for _, d := range edgeDims {
+		xs := make([]int, d.n)
+		keep := make([]bool, d.n)
+		var want []int
+		for i := range xs {
+			xs[i] = i
+			keep[i] = i%2 == 0
+			if keep[i] {
+				want = append(want, i)
+			}
+		}
+		got := Pack(xs, keep, d.p)
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Errorf("n=%d p=%d: Pack = %v, want %v", d.n, d.p, got, want)
+		}
+	}
+}
+
+func TestSortEdges(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	for _, d := range edgeDims {
+		xs := make([]int, d.n)
+		for i := range xs {
+			xs[i] = d.n - i
+		}
+		Sort(xs, less, d.p)
+		if !IsSorted(xs, less) {
+			t.Errorf("n=%d p=%d: not sorted: %v", d.n, d.p, xs)
+		}
+	}
+}
+
+func TestParallelPrefixSumEdges(t *testing.T) {
+	for _, d := range edgeDims {
+		xs := make([]int, d.n)
+		ys := make([]int, d.n)
+		for i := range xs {
+			xs[i] = i*3 + 1
+			ys[i] = xs[i]
+		}
+		wantTotal := PrefixSum(ys)
+		if got := ParallelPrefixSum(xs, d.p); got != wantTotal {
+			t.Errorf("n=%d p=%d: total %d, want %d", d.n, d.p, got, wantTotal)
+		}
+		if d.n > 0 && !reflect.DeepEqual(xs, ys) {
+			t.Errorf("n=%d p=%d: scan %v, want %v", d.n, d.p, xs, ys)
+		}
+	}
+}

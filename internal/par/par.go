@@ -6,10 +6,13 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
+
+	"polyclip/internal/guard"
 )
 
 // PanicError wraps a panic recovered in a parallel worker goroutine,
@@ -35,6 +38,25 @@ func (e *PanicError) Unwrap() error {
 	}
 	return nil
 }
+
+// StallError reports that a parallel stage was abandoned by its watchdog:
+// the stage context expired (deadline or cancellation) before every worker
+// finished. The workers themselves cannot be killed — they are left running
+// and their outputs discarded — so after a StallError the caller MUST NOT
+// reuse any buffer the abandoned workers write to; retry with freshly
+// allocated buffers instead.
+type StallError struct {
+	Err error // the context error that fired the watchdog
+}
+
+// Error formats the stall.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("parallel stage abandoned by watchdog: %v", e.Err)
+}
+
+// Unwrap exposes the context error to errors.Is (context.DeadlineExceeded /
+// context.Canceled).
+func (e *StallError) Unwrap() error { return e.Err }
 
 // DefaultParallelism returns the degree of parallelism used when a caller
 // passes p <= 0: the number of usable CPUs.
@@ -65,6 +87,7 @@ func ForEach(n, p int, fn func(lo, hi int)) {
 		p = n
 	}
 	if p == 1 {
+		guard.Hit("par.worker")
 		fn(0, n)
 		return
 	}
@@ -89,6 +112,7 @@ func ForEach(n, p int, fn func(lo, hi int)) {
 					panicOnce.Do(func() { pe = w })
 				}
 			}()
+			guard.Hit("par.worker")
 			fn(lo, hi)
 		}(lo, hi)
 	}
@@ -96,6 +120,57 @@ func ForEach(n, p int, fn func(lo, hi int)) {
 	if pe != nil {
 		panic(pe)
 	}
+}
+
+// Run executes fn on its own goroutine and waits for it to finish or for ctx
+// to be done, whichever comes first — the watchdog building block for
+// deadline-bounded pipeline stages. When ctx fires first a *StallError is
+// returned and fn is abandoned: it keeps running to completion on its
+// goroutine, so the caller must discard (never reuse) anything it writes to.
+// A panic inside fn is re-raised on the calling goroutine as a *PanicError,
+// exactly like ForEach; a panic in an abandoned fn is swallowed with the
+// rest of its work.
+func Run(ctx context.Context, fn func()) error {
+	if err := ctx.Err(); err != nil {
+		return &StallError{Err: err}
+	}
+	done := make(chan *PanicError, 1)
+	go func() {
+		var pe *PanicError
+		defer func() {
+			if r := recover(); r != nil {
+				w, ok := r.(*PanicError)
+				if !ok {
+					w = &PanicError{Value: r, Stack: debug.Stack()}
+				}
+				pe = w
+			}
+			done <- pe
+		}()
+		fn()
+	}()
+	select {
+	case pe := <-done:
+		if pe != nil {
+			panic(pe)
+		}
+		return nil
+	case <-ctx.Done():
+		return &StallError{Err: ctx.Err()}
+	}
+}
+
+// ForEachCtx is ForEach under a watchdog: the chunked workers run as in
+// ForEach, but if ctx is done before they all finish — a worker wedged on
+// pathological input, a hung syscall, an injected hang fault — a *StallError
+// is returned instead of blocking forever. Abandoned workers keep running;
+// see Run for the buffer-reuse contract. Unlike ForEach, even p == 1 runs on
+// a separate goroutine so a sequential retry remains abandonable.
+func ForEachCtx(ctx context.Context, n, p int, fn func(lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	return Run(ctx, func() { ForEach(n, p, fn) })
 }
 
 // ForEachItem runs fn(i) for every i in [0, n) with parallelism p, chunked
@@ -139,6 +214,7 @@ func ExclusivePrefixSum(xs []int) int {
 // totals are scanned sequentially, then block offsets are added back in
 // parallel). Returns the total. Work O(n), depth O(n/p + p).
 func ParallelPrefixSum(xs []int, p int) int {
+	guard.Hit("par.prefixsum")
 	n := len(xs)
 	p = normalize(p)
 	if p == 1 || n < 2048 {

@@ -3,6 +3,8 @@ package par
 import (
 	"sort"
 	"sync"
+
+	"polyclip/internal/guard"
 )
 
 // sortSerialCutoff is the subproblem size below which parallel mergesort
@@ -15,6 +17,7 @@ const sortSerialCutoff = 1 << 12
 // O(log² n) depth instead of O(log n) (Cole's pipelining is a PRAM
 // refinement with no multicore payoff; see DESIGN.md).
 func Sort[T any](xs []T, less func(a, b T) bool, p int) {
+	guard.Hit("par.sort")
 	p = normalize(p)
 	if p == 1 || len(xs) <= sortSerialCutoff {
 		sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"polyclip/internal/geom"
+	"polyclip/internal/guard"
 )
 
 // Edge is a directed boundary edge with the region interior on its left.
@@ -24,6 +25,7 @@ type Edge struct {
 // inconsistent leftovers are dropped rather than emitted as open chains.
 // Rings with fewer than three vertices are discarded.
 func Stitch(edges []Edge) geom.Polygon {
+	guard.Hit("ringstitch.stitch")
 	if len(edges) == 0 {
 		return nil
 	}

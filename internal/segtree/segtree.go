@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"polyclip/internal/guard"
 	"polyclip/internal/par"
 )
 
@@ -45,6 +46,7 @@ func (t *Tree) Beam(i int) (lo, hi float64) { return t.ys[i], t.ys[i+1] }
 // and distinct (use Dedup). Construction is parallel with parallelism p and
 // two-phase: counts first, then exact-size cover lists.
 func Build(boundaries []float64, n int, span func(i int32) Interval, p int) *Tree {
+	guard.Hit("segtree.build")
 	m := len(boundaries) - 1
 	if m < 1 {
 		m = 1

@@ -2,12 +2,14 @@ package polyclip
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"polyclip/internal/core"
 	"polyclip/internal/geom"
 	"polyclip/internal/guard"
 	"polyclip/internal/overlay"
+	"polyclip/internal/par"
 	"polyclip/internal/vatti"
 )
 
@@ -75,7 +77,11 @@ func ClipCtx(ctx context.Context, subject, clip Polygon, op Op, opt Options) (Po
 	clip, repC = guard.Repair(clip)
 	res.Repaired = repS.Changed() || repC.Changed()
 
-	areaS, areaC := subject.Area(), clip.Area()
+	// Audit references are sound measure bounds, not shoelace areas: the
+	// ring-sum area of a self-intersecting input under-states its even-odd
+	// measure (a bowtie sums to ~0), which made the audit reject correct
+	// results and drag every such clip through the fallback chain.
+	areaS, areaC := guard.MeasureBound(subject), guard.MeasureBound(clip)
 	chain := attemptChain(subject, clip, op, opt)
 	if opt.NoFallback {
 		chain = chain[:1]
@@ -90,17 +96,26 @@ func ClipCtx(ctx context.Context, subject, clip Polygon, op Op, opt Options) (Po
 		}
 		var err error
 		out, st, err = runAttempt(ctx, at)
+		if st != nil {
+			// Keep the stage-level counters (watchdog timeouts, retries,
+			// in-stage recoveries) an attempt accumulated even when the
+			// attempt itself failed and the chain moves on.
+			res.StageTimeouts += st.Resilience.StageTimeouts
+			res.Retries += st.Resilience.Retries
+			res.Recovered += st.Resilience.Recovered
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				res.Attempts = append(res.Attempts, at.name+":canceled")
 				return nil, fin(st), err
 			}
-			res.Attempts = append(res.Attempts, at.name+":panic")
+			res.Attempts = append(res.Attempts, at.name+":"+failureKind(err))
 			lastErr = err
 			continue
 		}
 		out = guard.HitPoly("polyclip.result", out)
 		if aerr := guard.Audit(out, areaS, areaC, guard.OpKind(op)); aerr != nil {
+			res.InvariantFailures++
 			if i == len(chain)-1 {
 				// Every engine agrees (or at least fails the same heuristic
 				// bound): the audit is inconclusive, not the result wrong —
@@ -116,6 +131,21 @@ func ClipCtx(ctx context.Context, subject, clip Polygon, op Op, opt Options) (Po
 		return out, fin(st), nil
 	}
 	return nil, fin(st), lastErr
+}
+
+// failureKind labels a failed engine attempt for the Attempts record:
+// watchdog-abandoned stages are timeouts, everything else surfaced as a
+// recovered panic.
+func failureKind(err error) string {
+	var stall *par.StallError
+	if errors.As(err, &stall) {
+		return "timeout"
+	}
+	var ce *ClipError
+	if errors.As(err, &ce) && ce.Timeout {
+		return "timeout"
+	}
+	return "panic"
 }
 
 // runAttempt runs one engine attempt with panic isolation.

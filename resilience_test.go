@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"polyclip/internal/guard"
 )
@@ -81,8 +82,7 @@ func TestClipCtxHappyPathRecordsAttempt(t *testing.T) {
 }
 
 func TestSlabPanicReturnsClipError(t *testing.T) {
-	defer guard.ClearFaults()
-	guard.InjectFault("core.slab-clip", guard.Once(func() { panic("injected slab crash") }))
+	guard.WithFault(t, "core.slab-clip", guard.Once(func() { panic("injected slab crash") }))
 
 	a := circle(0, 0, 10, 256)
 	b := circle(1, 1, 10, 256)
@@ -110,9 +110,12 @@ func TestSlabPanicReturnsClipError(t *testing.T) {
 	}
 }
 
-func TestSlabPanicRescuedByFallback(t *testing.T) {
-	defer guard.ClearFaults()
-	guard.InjectFault("core.slab-clip", guard.Once(func() { panic("transient slab crash") }))
+func TestSlabPanicRescuedByStageRetry(t *testing.T) {
+	// A transient panic in one slab worker is rescued by the in-stage retry
+	// (sequential re-run of the clip stage) without ever leaving the slabs
+	// engine, so the attempt record shows a clean slabs:ok plus the retry
+	// counters.
+	guard.WithFault(t, "core.slab-clip", guard.Once(func() { panic("transient slab crash") }))
 
 	a := circle(0, 0, 10, 256)
 	b := circle(1, 1, 10, 256)
@@ -121,22 +124,23 @@ func TestSlabPanicRescuedByFallback(t *testing.T) {
 		Algorithm: AlgoSlabs, Threads: 4,
 	})
 	if err != nil {
-		t.Fatalf("fallback chain did not rescue: %v", err)
+		t.Fatalf("stage retry did not rescue: %v", err)
 	}
 	if a := Area(out); math.Abs(a-want) > 1e-6*want {
 		t.Fatalf("rescued area %g, want %g", a, want)
 	}
-	atts := st.Resilience.Attempts
-	if len(atts) < 2 || atts[0] != "slabs:panic" {
-		t.Fatalf("attempts %v: want slabs:panic followed by a rescue", atts)
+	if got := attemptsOf(st); got != "slabs:ok" {
+		t.Fatalf("attempts %q, want slabs:ok (in-stage rescue)", got)
 	}
-	if !strings.HasSuffix(atts[len(atts)-1], ":ok") {
-		t.Fatalf("last attempt %q did not succeed", atts[len(atts)-1])
+	if st.Resilience.Retries < 1 {
+		t.Fatalf("Retries = %d, want >= 1", st.Resilience.Retries)
+	}
+	if st.Resilience.Recovered < 1 {
+		t.Fatalf("Recovered = %d, want >= 1", st.Resilience.Recovered)
 	}
 }
 
 func TestDifferentialFallbackSequentialRescue(t *testing.T) {
-	defer guard.ClearFaults()
 	// Corrupt the first two results (the parallel overlay attempt and its
 	// coarse-grid retry) so the audit rejects both and the sequential Vatti
 	// engine has to rescue the run.
@@ -144,7 +148,7 @@ func TestDifferentialFallbackSequentialRescue(t *testing.T) {
 		return Polygon{{{X: 0, Y: 0}, {X: 1e6, Y: 0}, {X: 1e6, Y: 1e6}, {X: 0, Y: 1e6}}}
 	}
 	n := 0
-	guard.InjectFault("polyclip.result", func(p Polygon) Polygon {
+	guard.WithFault(t, "polyclip.result", func(p Polygon) Polygon {
 		n++
 		if n <= 2 {
 			return corrupt(p)
@@ -166,11 +170,10 @@ func TestDifferentialFallbackSequentialRescue(t *testing.T) {
 }
 
 func TestAuditInconclusiveReturnsResult(t *testing.T) {
-	defer guard.ClearFaults()
 	// Corrupt every attempt: the chain cannot distinguish a damaged result
 	// from an audit false-positive, so the last attempt's result is
 	// returned, flagged audit-inconclusive.
-	guard.InjectFault("polyclip.result", func(p Polygon) Polygon {
+	guard.WithFault(t, "polyclip.result", func(p Polygon) Polygon {
 		return Polygon{{{X: 0, Y: 0}, {X: 1e6, Y: 0}, {X: 1e6, Y: 1e6}, {X: 0, Y: 1e6}}}
 	})
 	out, st, err := ClipCtx(context.Background(), rect(0, 0, 4, 4), rect(2, 2, 6, 6), Intersection, Options{})
@@ -187,34 +190,68 @@ func TestAuditInconclusiveReturnsResult(t *testing.T) {
 }
 
 func TestClipCtxCancellationStopsWork(t *testing.T) {
-	defer guard.ClearFaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	// Cancel from inside the first slab worker: every later slab sees the
-	// cancelled ctx before clipping and skips its work.
-	guard.InjectFault("core.slab-clip", guard.Once(cancel))
+	// Cancel from inside the first slab worker: the stage watchdog abandons
+	// the run and no per-slab results are committed.
+	guard.WithFault(t, "core.slab-clip", guard.Once(cancel))
 
 	a := circle(0, 0, 10, 2048)
 	b := circle(1, 1, 10, 2048)
-	_, st, err := ClipCtx(ctx, a, b, Intersection, Options{
+	out, st, err := ClipCtx(ctx, a, b, Intersection, Options{
 		Algorithm: AlgoSlabs, Threads: 2, Slabs: 32, NoFallback: true,
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err %v, want context.Canceled", err)
 	}
+	if out != nil {
+		t.Fatalf("partial result returned after cancellation: %d rings", len(out))
+	}
 	if st.Slabs < 8 {
 		t.Fatalf("only %d slabs: the run cannot demonstrate early exit", st.Slabs)
 	}
-	skipped := 0
-	for _, d := range st.PerThread {
-		if d == 0 {
-			skipped++
-		}
-	}
-	if skipped == 0 {
-		t.Fatalf("no slab skipped after cancellation (per-thread: %v)", st.PerThread)
+	// The abandoned clip stage must not leak its (possibly still being
+	// written) per-slab buffers into the returned stats.
+	if len(st.PerThread) != 0 {
+		t.Fatalf("per-thread timings committed for an abandoned stage: %v", st.PerThread)
 	}
 	if got := attemptsOf(st); got != "slabs:canceled" {
 		t.Fatalf("attempts %q, want slabs:canceled", got)
+	}
+}
+
+func TestStageDeadlineBoundsHungWorker(t *testing.T) {
+	// One par worker goes to sleep for far longer than the whole clip
+	// budget. The stage watchdog must abandon it at the stage's share of the
+	// deadline and the sequential retry must rescue the run, so the clip
+	// returns a correct result well within 2x the configured budget.
+	a := circle(0, 0, 10, 512)
+	b := circle(1, 1, 10, 512)
+	want := Area(Clip(a, b, Intersection))
+
+	guard.WithFault(t, "par.worker", guard.Once(func() { time.Sleep(5 * time.Second) }))
+
+	const budget = 500 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+
+	start := time.Now()
+	out, st, err := ClipCtx(ctx, a, b, Intersection, Options{Algorithm: AlgoSlabs, Threads: 4})
+	elapsed := time.Since(start)
+
+	if elapsed > 2*budget {
+		t.Fatalf("clip with a hung worker took %v, want <= %v (2x budget)", elapsed, 2*budget)
+	}
+	if err != nil {
+		t.Fatalf("hung worker not rescued: %v", err)
+	}
+	if got := Area(out); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("rescued area %g, want %g", got, want)
+	}
+	if st.Resilience.StageTimeouts < 1 {
+		t.Fatalf("StageTimeouts = %d, want >= 1 (resilience: %+v)", st.Resilience.StageTimeouts, st.Resilience)
+	}
+	if st.Resilience.Retries < 1 {
+		t.Fatalf("Retries = %d, want >= 1", st.Resilience.Retries)
 	}
 }
 
@@ -231,13 +268,11 @@ func TestClipCtxPreCancelled(t *testing.T) {
 }
 
 func TestOverlayLayersCtxPairPanic(t *testing.T) {
-	defer guard.ClearFaults()
 	la := Layer{rect(0, 0, 4, 4), rect(10, 0, 14, 4)}
 	lb := Layer{rect(2, 2, 6, 6), rect(12, 2, 16, 6)}
 
 	t.Run("rescued", func(t *testing.T) {
-		guard.InjectFault("core.pair-clip", guard.Once(func() { panic("pair crash") }))
-		defer guard.ClearFaults()
+		guard.WithFault(t, "core.pair-clip", guard.Once(func() { panic("pair crash") }))
 		out, st, err := OverlayLayersCtx(context.Background(), la, lb, Intersection, Options{Threads: 1})
 		if err != nil {
 			t.Fatalf("pair rescue failed: %v", err)
@@ -250,8 +285,7 @@ func TestOverlayLayersCtxPairPanic(t *testing.T) {
 		}
 	})
 	t.Run("surfaced with NoFallback", func(t *testing.T) {
-		guard.InjectFault("core.pair-clip", guard.Once(func() { panic("pair crash") }))
-		defer guard.ClearFaults()
+		guard.WithFault(t, "core.pair-clip", guard.Once(func() { panic("pair crash") }))
 		_, _, err := OverlayLayersCtx(context.Background(), la, lb, Intersection, Options{Threads: 1, NoFallback: true})
 		var ce *ClipError
 		if !errors.As(err, &ce) {

@@ -1,11 +1,13 @@
 #!/bin/sh
-# Full verification sweep: vet, build, tests under the race detector, and a
-# short native-fuzz smoke on every fuzz target. Mirrors `make check` for
-# environments without make.
+# Full verification sweep: vet, build, tests under the race detector, a
+# short native-fuzz smoke on every fuzz target, and fixed-seed chaos runs
+# (clean + faulted). Mirrors `make check` for environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
+CHAOS_SEED="${CHAOS_SEED:-1}"
+CHAOS_CASES="${CHAOS_CASES:-100}"
 
 echo "== go vet"
 go vet ./...
@@ -16,6 +18,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
+echo "== go test -race ./internal/par (fan-out edge cases first: fast signal)"
+go test -race ./internal/par/
+
 echo "== go test -race"
 go test -race ./...
 
@@ -23,5 +28,11 @@ for t in FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip; do
 	echo "== fuzz $t ($FUZZTIME)"
 	go test -run='^$' -fuzz="^$t\$" -fuzztime="$FUZZTIME" .
 done
+
+echo "== chaos (seed $CHAOS_SEED, $CHAOS_CASES cases, clean)"
+go run ./cmd/chaos -seed "$CHAOS_SEED" -cases "$CHAOS_CASES"
+
+echo "== chaos (seed $CHAOS_SEED, $CHAOS_CASES cases, faulted)"
+go run ./cmd/chaos -seed "$CHAOS_SEED" -cases "$CHAOS_CASES" -faults
 
 echo "all checks passed"
