@@ -2,10 +2,12 @@ FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip
 CHAOS_SEED ?= 1
 CHAOS_CASES ?= 200
+COVER_FLOOR ?= 80
+COVER_PKGS := ./internal/vatti/ ./internal/arrange/
 
-.PHONY: check build vet test race fuzz chaos
+.PHONY: check build vet test cover race differential fuzz chaos
 
-check: vet build test race fuzz chaos
+check: vet build test cover race differential fuzz chaos
 
 build:
 	go build ./...
@@ -16,8 +18,25 @@ vet:
 test:
 	go test ./...
 
+# Per-package statement-coverage floor for the engine packages whose
+# correctness the differential oracles lean on.
+cover:
+	@for pkg in $(COVER_PKGS); do \
+		pct=$$(go test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "could not parse coverage for $$pkg"; exit 1; fi; \
+		if ! awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{exit !(p >= f)}'; then \
+			echo "coverage for $$pkg is $$pct%, below the $(COVER_FLOOR)% floor"; exit 1; \
+		fi; \
+		echo "$$pkg: $$pct%"; \
+	done
+
 race:
 	go test -race ./...
+
+# The golden-file differential corpus must agree across all three engines
+# with the race detector watching the parallel ones.
+differential:
+	go test -race -run TestDifferentialCorpus .
 
 # Each native fuzz target gets a short smoke run; raise FUZZTIME for real
 # fuzzing sessions (e.g. make fuzz FUZZTIME=10m).

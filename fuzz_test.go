@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"testing"
+
+	"polyclip/internal/guard"
 )
 
 // wktSeeds is the degenerate seed corpus shared by the parser and clipping
@@ -22,6 +24,10 @@ var wktSeeds = []string{
 	"POLYGON ((0 0, 4 0, 8 0, 4 0, 4 4, 0 4))",
 	"POLYGON ((0 0, 10 0, 10 10, 0 10), (2 2, 8 2, 8 8, 2 8))",
 	"POLYGON ((0 0, 4 4, 4 0, 0 4))",
+	"POLYGON ((0 8, -4.7 -6.47, 7.6 2.47, -7.6 2.47, 4.7 -6.47))",
+	"POLYGON ((1 7, -4.69 -3.37, 6.85 3.67, -4.85 3.67, 6.69 -3.37))",
+	"POLYGON ((0 0, 5 1e-8, 10 -1e-8, 15 1e-8, 20 0, 10 8))",
+	"MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1)), ((1 1, 2 1, 2 2, 1 2)), ((2 0, 3 0, 3 1, 2 1)))",
 	"MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4)), ((10 10, 14 10, 14 14, 10 14)))",
 	"POLYGON ((1e100 1e100, 2e100 1e100, 2e100 2e100))",
 	"POLYGON ((1e-12 0, 2e-12 0, 2e-12 1e-12))",
@@ -117,8 +123,22 @@ func FuzzClipRoundTrip(f *testing.F) {
 				t.Fatalf("ring %d of result has %d vertices (ops %q %v %q)", ri, len(r), ws, op, wc)
 			}
 		}
-		if a := Area(out); math.IsNaN(a) || math.IsInf(a, 0) {
+		a := Area(out)
+		if math.IsNaN(a) || math.IsInf(a, 0) {
 			t.Fatalf("non-finite result area (ops %q %v %q)", ws, op, wc)
+		}
+		// Differential oracle on every surviving input — self-intersecting
+		// and near-collinear seeds included: the sequential Vatti sweep must
+		// agree with the default engine's measure (no fallback, so a
+		// disagreement cannot be rescued away).
+		seq, _, err := ClipCtx(context.Background(), subject, clip, op,
+			Options{Algorithm: AlgoSequential, Threads: 1, NoFallback: true})
+		if err != nil {
+			t.Fatalf("vatti cross-check errored: %v (ops %q %v %q)", err, ws, op, wc)
+		}
+		scale := guard.MeasureBound(subject) + guard.MeasureBound(clip)
+		if va := Area(seq); math.Abs(va-a) > 1e-6*math.Max(scale, math.Max(va, a)) {
+			t.Fatalf("vatti area %g disagrees with default engine %g (ops %q %v %q)", va, a, ws, op, wc)
 		}
 	})
 }

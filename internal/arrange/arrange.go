@@ -1,0 +1,338 @@
+// Package arrange pre-resolves operand arrangements for the scanbeam
+// engines. A Vatti-style sweep assumes that between two consecutive event
+// scanlines no two active edges cross; raw inputs violate that in two ways
+// the event schedule alone cannot repair. Self-intersecting rings (bowties,
+// polygrams) carry boundary whose even-odd multiplicity differs from the
+// ring walk, and near-collinear crossings computed in floating point land in
+// the wrong scanbeam — the shallower the angle, the further the computed
+// intersection drifts along the edges, so scheduling the intersection's y is
+// not enough to keep the beam orders consistent.
+//
+// Resolve and ResolvePair remove both hazards at the source, the standard
+// snap-rounding route (cf. CGAL's arrangement preprocessing): every edge is
+// split at every intersection point found by the internal/isect finders, all
+// vertices are welded onto one power-of-two grid at geom.RelEps of the data
+// extent, and operands that genuinely self-intersect have their simple
+// even-odd boundary re-extracted with the robust orientation predicate.
+// After resolution, edges meet only at shared exact vertices, so a sweep
+// whose events are the endpoint ys sees no crossing strictly inside any
+// beam.
+package arrange
+
+import (
+	"math"
+	"sort"
+
+	"polyclip/internal/geom"
+	"polyclip/internal/isect"
+	"polyclip/internal/ringstitch"
+)
+
+// Resolve returns a polygon covering the same even-odd point set as p whose
+// rings are split at every self-intersection and welded onto the relative
+// snap grid; when p self-intersects (edges crossing in their interiors or
+// overlapping collinearly) the simple even-odd boundary is re-extracted, so
+// the result's rings cross only at shared vertices. Inputs that are already
+// resolved are returned unchanged, without copying.
+func Resolve(p geom.Polygon) geom.Polygon {
+	out, changed := resolve([]geom.Polygon{p})
+	if !changed {
+		return p
+	}
+	return out[0]
+}
+
+// ResolvePair resolves two operands jointly: edges of either operand are
+// split at their intersections with every other edge — their own operand's
+// or the other's — and all vertices weld onto one shared grid, so a
+// downstream sweep of the union of both edge sets meets crossings only at
+// shared exact vertices. Operand pairs that only touch at shared vertices
+// (or not at all) are returned unchanged, without copying.
+func ResolvePair(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
+	out, changed := resolve([]geom.Polygon{a, b})
+	if !changed {
+		return a, b
+	}
+	return out[0], out[1]
+}
+
+// resolve is the shared implementation: ops is one polygon (Resolve) or an
+// operand pair (ResolvePair). The boolean reports whether anything changed;
+// when false the caller keeps its originals and no allocation is retained.
+func resolve(ops []geom.Polygon) ([]geom.Polygon, bool) {
+	// Flatten every ring of every operand into one edge soup, remembering
+	// which operand each edge belongs to so self-intersection is detected
+	// per operand.
+	var segs []geom.Segment
+	var owners []int
+	for oi, p := range ops {
+		for _, r := range p {
+			if len(r) < 3 {
+				continue
+			}
+			n := len(r)
+			for i := 0; i < n; i++ {
+				j := i + 1
+				if j == n {
+					j = 0
+				}
+				if r[i] == r[j] {
+					continue
+				}
+				segs = append(segs, geom.Segment{A: r[i], B: r[j]})
+				owners = append(owners, oi)
+			}
+		}
+	}
+	if len(segs) < 2 {
+		return ops, false
+	}
+
+	// All intersecting pairs, self and cross-operand alike. The grid finder
+	// handles horizontal edges, which the scanbeam finder must not see.
+	pairs := isect.GridPairs(segs, 1)
+
+	// Cut points per edge: every intersection point strictly inside an edge
+	// splits it there. SegIntersection snaps near-endpoint crossings onto
+	// the endpoint exactly, so a point distinct from both endpoints is a
+	// genuine interior split. An operand needs even-odd re-extraction when
+	// two of its own edges meet anywhere beyond a shared endpoint.
+	cuts := make([][]geom.Point, len(segs))
+	selfX := make([]bool, len(ops))
+	needSplit := false
+	for _, pr := range pairs {
+		si, sj := segs[pr.I], segs[pr.J]
+		kind, p0, p1 := geom.SegIntersection(si, sj)
+		if kind == geom.Disjoint {
+			continue
+		}
+		pts := [2]geom.Point{p0, p1}
+		npts := 1
+		if kind == geom.Overlapping {
+			npts = 2
+		}
+		interior := kind == geom.Overlapping
+		for k := 0; k < npts; k++ {
+			pt := pts[k]
+			if pt != si.A && pt != si.B {
+				cuts[pr.I] = append(cuts[pr.I], pt)
+				interior = true
+				needSplit = true
+			}
+			if pt != sj.A && pt != sj.B {
+				cuts[pr.J] = append(cuts[pr.J], pt)
+				interior = true
+				needSplit = true
+			}
+		}
+		if interior && owners[pr.I] == owners[pr.J] {
+			selfX[owners[pr.I]] = true
+		}
+	}
+	anySelf := false
+	for _, s := range selfX {
+		anySelf = anySelf || s
+	}
+	if !needSplit && !anySelf {
+		return ops, false
+	}
+
+	weld := weldFunc(segs)
+
+	// Rebuild every ring with its split vertices inserted in order along
+	// each edge, everything welded, consecutive duplicates dropped. The
+	// iteration mirrors the flattening loop above so the cut lists line up.
+	out := make([]geom.Polygon, len(ops))
+	ei := 0
+	for oi, p := range ops {
+		var np geom.Polygon
+		for _, r := range p {
+			if len(r) < 3 {
+				continue
+			}
+			var nr geom.Ring
+			push := func(pt geom.Point) {
+				if len(nr) == 0 || nr[len(nr)-1] != pt {
+					nr = append(nr, pt)
+				}
+			}
+			n := len(r)
+			for i := 0; i < n; i++ {
+				j := i + 1
+				if j == n {
+					j = 0
+				}
+				if r[i] == r[j] {
+					continue
+				}
+				seg := segs[ei]
+				push(weld(seg.A))
+				cs := cuts[ei]
+				if len(cs) > 1 {
+					d := seg.B.Sub(seg.A)
+					sort.Slice(cs, func(x, y int) bool {
+						return cs[x].Sub(seg.A).Dot(d) < cs[y].Sub(seg.A).Dot(d)
+					})
+				}
+				for _, c := range cs {
+					push(weld(c))
+				}
+				ei++
+			}
+			for len(nr) > 1 && nr[len(nr)-1] == nr[0] {
+				nr = nr[:len(nr)-1]
+			}
+			// Welding can flatten a ring whose true extent is below the grid
+			// step onto a single line (an extreme-aspect sliver next to a much
+			// larger operand). Such a ring covers no area under any fill rule,
+			// but its coincident edges poison the sweep's parity walk, so it
+			// is dropped rather than passed on.
+			if len(nr) >= 3 && !ringCollinear(nr) {
+				np = append(np, nr)
+			}
+		}
+		out[oi] = np
+	}
+
+	// Re-extract the simple even-odd boundary of operands whose own edges
+	// cross or overlap; operands that were only split by the other operand
+	// keep their rebuilt rings (same rings, more vertices).
+	for oi := range out {
+		if selfX[oi] {
+			out[oi] = extractEvenOdd(out[oi].Edges())
+		}
+	}
+	return out, true
+}
+
+// ringCollinear reports whether every vertex of r lies on one line (the
+// first edge's supporting line; consecutive duplicates are already removed,
+// so r[0] != r[1]).
+func ringCollinear(r geom.Ring) bool {
+	for i := 2; i < len(r); i++ {
+		if geom.Orient(r[0], r[1], r[i]) != geom.Collinear {
+			return false
+		}
+	}
+	return true
+}
+
+// weldFunc returns the vertex weld for the given edge soup: quantization
+// onto a power-of-two grid at geom.RelEps of the data extent. Quantization
+// is a pure function of the coordinate, so the same arrangement vertex
+// reached through different edges always lands on the identical
+// representative, and a power-of-two step keeps binary-representable inputs
+// (integers, halves, ...) exact.
+func weldFunc(segs []geom.Segment) func(geom.Point) geom.Point {
+	box := geom.EmptyBBox()
+	for _, s := range segs {
+		box.Extend(s.A)
+		box.Extend(s.B)
+	}
+	scale := math.Max(box.Width(), box.Height())
+	scale = math.Max(scale, math.Max(math.Abs(box.MaxX), math.Abs(box.MaxY)))
+	scale = math.Max(scale, math.Max(math.Abs(box.MinX), math.Abs(box.MinY)))
+	if scale == 0 || math.IsInf(scale, 0) {
+		return func(p geom.Point) geom.Point { return p }
+	}
+	eps := math.Ldexp(1, int(math.Ceil(math.Log2(scale*geom.RelEps))))
+	return func(p geom.Point) geom.Point {
+		return geom.Point{X: math.Round(p.X/eps) * eps, Y: math.Round(p.Y/eps) * eps}
+	}
+}
+
+// extractEvenOdd recovers the simple boundary of the even-odd region covered
+// by an edge multiset that has already been split at all intersections and
+// welded: edges meet only at shared exact vertices. Coincident edges with
+// even multiplicity separate regions of equal parity and vanish; odd groups
+// are boundary once. Each boundary edge is directed with the region interior
+// on its left — decided by exact ray parity with the robust orientation
+// predicate, not by any epsilon — and the directed soup is stitched into
+// counter-clockwise outer rings and clockwise holes.
+func extractEvenOdd(edges []geom.Segment) geom.Polygon {
+	type ekey struct{ ax, ay, bx, by float64 }
+	counts := make(map[ekey]int, len(edges))
+	for _, s := range edges {
+		if s.A == s.B {
+			continue
+		}
+		a, b := s.A, s.B
+		if b.Less(a) {
+			a, b = b, a
+		}
+		counts[ekey{a.X, a.Y, b.X, b.Y}]++
+	}
+	bd := make([]geom.Segment, 0, len(counts))
+	for k, c := range counts {
+		if c%2 == 1 {
+			bd = append(bd, geom.Segment{A: geom.Point{X: k.ax, Y: k.ay}, B: geom.Point{X: k.bx, Y: k.by}})
+		}
+	}
+	// Deterministic classification and stitch order regardless of map
+	// iteration.
+	sort.Slice(bd, func(i, j int) bool {
+		if bd[i].A != bd[j].A {
+			return bd[i].A.Less(bd[j].A)
+		}
+		return bd[i].B.Less(bd[j].B)
+	})
+
+	dir := make([]ringstitch.Edge, 0, len(bd))
+	for _, e := range bd {
+		m := e.Midpoint()
+		if e.A.X == e.B.X {
+			// Vertical edge: parity of boundary edges strictly left of m
+			// along the leftward horizontal ray. Half-open in y so a vertex
+			// exactly at m.Y counts once; Orient is Collinear for edges
+			// through m (including e itself), which contribute nothing.
+			parity := false
+			for _, f := range bd {
+				if (f.A.Y > m.Y) != (f.B.Y > m.Y) {
+					lo, hi := f.A, f.B
+					if lo.Y > hi.Y {
+						lo, hi = hi, lo
+					}
+					if geom.Orient(lo, hi, m) == geom.Clockwise {
+						parity = !parity
+					}
+				}
+			}
+			lo, hi := e.A, e.B
+			if lo.Y > hi.Y {
+				lo, hi = hi, lo
+			}
+			if parity {
+				// Interior on the left: boundary walks upward.
+				dir = append(dir, ringstitch.Edge{From: lo, To: hi})
+			} else {
+				dir = append(dir, ringstitch.Edge{From: hi, To: lo})
+			}
+		} else {
+			// Non-vertical edge: parity of boundary edges strictly below m
+			// along the downward vertical ray.
+			parity := false
+			for _, f := range bd {
+				if (f.A.X > m.X) != (f.B.X > m.X) {
+					lo, hi := f.A, f.B
+					if lo.X > hi.X {
+						lo, hi = hi, lo
+					}
+					if geom.Orient(lo, hi, m) == geom.CounterClockwise {
+						parity = !parity
+					}
+				}
+			}
+			lo, hi := e.A, e.B
+			if lo.X > hi.X {
+				lo, hi = hi, lo
+			}
+			if parity {
+				// Interior below: boundary walks toward -x.
+				dir = append(dir, ringstitch.Edge{From: hi, To: lo})
+			} else {
+				dir = append(dir, ringstitch.Edge{From: lo, To: hi})
+			}
+		}
+	}
+	return ringstitch.Stitch(dir)
+}

@@ -98,14 +98,13 @@ func (e *engine) checkCase(ci int, w workload) {
 
 	// Cross-engine agreement: the parallel pipeline against the sequential
 	// Vatti sweep (no fallback, so a disagreement cannot be papered over by
-	// the rescue chain) and against the slab decomposition. The Vatti check
-	// is scoped to families inside its domain (see workload.vattiSafe).
+	// the rescue chain) and against the slab decomposition. All families are
+	// in scope — the arrangement pre-resolution (internal/arrange) made the
+	// Vatti sweep robust on self-intersecting and near-collinear inputs.
 	if okBase {
-		if w.vattiSafe {
-			seq := polyclip.Options{Algorithm: polyclip.AlgoSequential, Threads: 1, NoFallback: true}
-			if vArea, ok := e.areaOf(ci, w, w.a, w.b, w.op, seq); ok {
-				e.check(ci, w, "cross-engine-vatti", vArea, base, scale)
-			}
+		seq := polyclip.Options{Algorithm: polyclip.AlgoSequential, Threads: 1, NoFallback: true}
+		if vArea, ok := e.areaOf(ci, w, w.a, w.b, w.op, seq); ok {
+			e.check(ci, w, "cross-engine-vatti", vArea, base, scale)
 		}
 		slabs := polyclip.Options{Algorithm: polyclip.AlgoSlabs, Threads: e.cfg.Threads}
 		if sArea, ok := e.areaOf(ci, w, w.a, w.b, w.op, slabs); ok {

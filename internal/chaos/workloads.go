@@ -20,33 +20,29 @@ import (
 )
 
 // workload is one generated chaos case: an operand pair, the operation to
-// apply, and the family label used in reports. vattiSafe marks families
-// inside the sequential Vatti engine's domain: Vatti collapses
-// near-collinear fans (its sweep cannot separate events closer than its
-// tolerance) and does not resolve operand self-intersections the way the
-// overlay arrangement does, so on those families it is not a usable
-// cross-check reference (see EXPERIMENTS.md and the ROADMAP item).
+// apply, and the family label used in reports. Every family cross-checks
+// every engine — the arrangement pre-resolution in internal/arrange brought
+// the sequential Vatti sweep into the same domain as the overlay engine, so
+// no family needs scoping anymore.
 type workload struct {
-	name      string
-	a, b      polyclip.Polygon
-	op        polyclip.Op
-	vattiSafe bool
+	name string
+	a, b polyclip.Polygon
+	op   polyclip.Op
 }
 
 // generators is the cycle of workload families. Order matters only for
 // reproducibility: case i uses generators[i % len] with a case-specific rng.
 var generators = []struct {
-	name      string
-	gen       func(rng *rand.Rand) (a, b polyclip.Polygon)
-	vattiSafe bool
+	name string
+	gen  func(rng *rand.Rand) (a, b polyclip.Polygon)
 }{
-	{"random-star", genRandomStars, true},
-	{"near-collinear-fan", genNearCollinearFans, false},
-	{"shared-vertex-grid", genSharedVertexGrids, true},
-	{"spike-ring", genSpikeRings, true},
-	{"scale-huge", genScaleHuge, true},
-	{"scale-tiny", genScaleTiny, true},
-	{"self-touching", genSelfTouching, false},
+	{"random-star", genRandomStars},
+	{"near-collinear-fan", genNearCollinearFans},
+	{"shared-vertex-grid", genSharedVertexGrids},
+	{"spike-ring", genSpikeRings},
+	{"scale-huge", genScaleHuge},
+	{"scale-tiny", genScaleTiny},
+	{"self-touching", genSelfTouching},
 }
 
 // buildWorkload deterministically produces case i from the run seed.
@@ -57,11 +53,10 @@ func buildWorkload(seed int64, i int) workload {
 	g := generators[i%len(generators)]
 	a, b := g.gen(rng)
 	return workload{
-		name:      g.name,
-		a:         a,
-		b:         b,
-		op:        polyclip.Op(i / len(generators) % 4),
-		vattiSafe: g.vattiSafe,
+		name: g.name,
+		a:    a,
+		b:    b,
+		op:   polyclip.Op(i / len(generators) % 4),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"polyclip/internal/arrange"
 	"polyclip/internal/geom"
 	"polyclip/internal/isect"
 	"polyclip/internal/par"
@@ -53,53 +54,60 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 		seg   geom.Segment
 		owner uint8
 	}
-	var edges []owned
-	add := func(poly geom.Polygon, owner uint8) {
-		for _, r := range poly {
-			n := len(r)
-			if n < 3 {
-				continue
-			}
-			for i := 0; i < n; i++ {
-				p1, p2 := r[i], r[(i+1)%n]
-				if p1.Y == p2.Y {
-					continue // horizontal: regenerated as caps, see vatti pkg
+	collect := func(pa, pb geom.Polygon) []owned {
+		var edges []owned
+		add := func(poly geom.Polygon, owner uint8) {
+			for _, r := range poly {
+				n := len(r)
+				if n < 3 {
+					continue
 				}
-				if p1.Y > p2.Y {
-					p1, p2 = p2, p1
+				for i := 0; i < n; i++ {
+					p1, p2 := r[i], r[(i+1)%n]
+					if p1.Y == p2.Y {
+						continue // horizontal: regenerated as caps, see vatti pkg
+					}
+					if p1.Y > p2.Y {
+						p1, p2 = p2, p1
+					}
+					edges = append(edges, owned{geom.Segment{A: p1, B: p2}, owner})
 				}
-				edges = append(edges, owned{geom.Segment{A: p1, B: p2}, owner})
 			}
 		}
+		add(pa, 0)
+		add(pb, 1)
+		return edges
 	}
-	add(a, 0)
-	add(b, 1)
-	if len(edges) == 0 {
+
+	// Step 3.2 (Lemma 4): the paper's k is a property of the raw input, so
+	// count the inversion crossings before resolution.
+	rawEdges := collect(a, b)
+	if len(rawEdges) == 0 {
 		return nil, rep
 	}
-
-	segs := make([]geom.Segment, len(edges))
-	for i, e := range edges {
-		segs[i] = e.seg
+	rawSegs := make([]geom.Segment, len(rawEdges))
+	for i, e := range rawEdges {
+		rawSegs[i] = e.seg
 	}
-
-	// Step 3.2 prerequisite (Lemma 4): intersections by inversion reporting.
-	// K is the inversion count — proper edge crossings, the paper's k;
-	// ScanbeamPairs additionally reports endpoint touches (ring adjacency),
-	// which the analysis does not charge for.
-	pairs := isect.ScanbeamPairs(segs, p)
-	rep.K = int(isect.CountCrossings(segs, p))
+	rep.K = int(isect.CountCrossings(rawSegs, p))
 	if canceled(ctx) {
 		return nil, rep
 	}
 
-	// Step 1: event schedule (endpoint and intersection ys), sorted.
+	// Pre-resolve the arrangement (see internal/arrange): crossings become
+	// shared welded vertices and self-intersecting operands are rewritten
+	// as simple even-odd rings, so the event schedule below needs only the
+	// endpoint ys and no two active edges cross strictly inside a beam.
+	a, b = arrange.ResolvePair(a, b)
+	edges := collect(a, b)
+	if len(edges) == 0 {
+		return nil, rep
+	}
+
+	// Step 1: event schedule (endpoint ys of the resolved edges), sorted.
 	ys := make([]float64, 0, 2*len(edges))
 	for _, e := range edges {
 		ys = append(ys, e.seg.A.Y, e.seg.B.Y)
-	}
-	for _, pt := range isect.Points(segs, pairs) {
-		ys = append(ys, pt.Y)
 	}
 	ys = segtree.Dedup(ys)
 	if len(ys) < 2 {
@@ -153,12 +161,14 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 				left = e.id
 			} else if !now && inOp {
 				l, r := edges[left].seg, edges[e.id].seg
-				out = append(out, vatti.Trapezoid{
+				tz := vatti.Trapezoid{
 					L1: geom.Point{X: l.XAtY(yb), Y: yb},
 					R1: geom.Point{X: r.XAtY(yb), Y: yb},
 					L2: geom.Point{X: l.XAtY(yt), Y: yt},
 					R2: geom.Point{X: r.XAtY(yt), Y: yt},
-				})
+				}
+				vatti.ClampCorners(&tz)
+				out = append(out, tz)
 			}
 			inOp = now
 		}

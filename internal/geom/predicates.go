@@ -100,11 +100,6 @@ func SegIntersection(s, t Segment) (kind IntersectKind, p0, p1 Point) {
 	d3 := Orient(s.A, s.B, t.A)
 	d4 := Orient(s.A, s.B, t.B)
 
-	if d1 != d2 && d3 != d4 && (d1 != Collinear || d2 != Collinear) {
-		// Proper or endpoint crossing.
-		return Crossing, lineIntersectionPoint(s, t), Point{}
-	}
-
 	// Collinear handling.
 	if d1 == Collinear && d2 == Collinear && d3 == Collinear && d4 == Collinear {
 		// All four points on one line: project on dominant axis.
@@ -122,7 +117,12 @@ func SegIntersection(s, t Segment) (kind IntersectKind, p0, p1 Point) {
 		}
 	}
 
-	// Touching cases: an endpoint of one lies on the other.
+	// An endpoint of one segment lying exactly on the other (Orient is
+	// exact, so these tests are too): the unique common point IS that
+	// endpoint. Returning it directly matters — two consecutive sub-edges
+	// of a split near-collinear chord share a vertex at an almost-180°
+	// angle, and computing that point through the line-line formula slides
+	// it arbitrarily far along the nearly-common line.
 	if d1 == Collinear && onSegment(t, s.A) {
 		return Crossing, s.A, Point{}
 	}
@@ -135,49 +135,81 @@ func SegIntersection(s, t Segment) (kind IntersectKind, p0, p1 Point) {
 	if d4 == Collinear && onSegment(s, t.B) {
 		return Crossing, t.B, Point{}
 	}
+
+	if d1 != d2 && d3 != d4 && d1 != Collinear && d2 != Collinear && d3 != Collinear && d4 != Collinear {
+		// Proper crossing: both segments strictly straddle each other.
+		return Crossing, lineIntersectionPoint(s, t), Point{}
+	}
 	return Disjoint, Point{}, Point{}
 }
+
+// crossCancelBound is the relative cancellation threshold below which the
+// floating-point cross product r×d of two nearly parallel directions is too
+// inaccurate to divide by: at cancellation c the quotient's relative error
+// grows to ~ε/c, so c = 1e-4 keeps it near 1e-12 (RelEps). Below the bound
+// the intersection parameter is recomputed exactly with math/big.
+const crossCancelBound = 1e-4
 
 // lineIntersectionPoint returns the intersection point of the supporting
 // lines of two properly crossing segments, with endpoint snapping: if the
 // intersection coincides with an endpoint it returns that endpoint exactly,
 // keeping downstream vertex matching watertight.
+//
+// For nearly parallel segments — near-collinear fan edges crossing at an
+// angle θ — the float64 quotient drifts the point ~ε/θ along the common
+// direction, far outside either segment once θ falls under ~1e-12; the
+// intersection parameter is then evaluated exactly with big.Rat (rounded
+// once at the end), mirroring Orient's exact fallback.
 func lineIntersectionPoint(s, t Segment) Point {
 	r := s.B.Sub(s.A)
 	d := t.B.Sub(t.A)
 	denom := r.Cross(d)
-	if denom == 0 {
-		// Nearly parallel after the orientation tests passed: fall back to an
-		// endpoint that lies on the other segment.
-		return s.A
+	mag := math.Abs(r.X*d.Y) + math.Abs(r.Y*d.X)
+	var u float64
+	if math.Abs(denom) >= crossCancelBound*mag && denom != 0 {
+		u = t.A.Sub(s.A).Cross(d) / denom
+	} else {
+		u = exactIntersectionParam(s, t)
 	}
-	u := t.A.Sub(s.A).Cross(d) / denom
 	p := Point{s.A.X + u*r.X, s.A.Y + u*r.Y}
-	// The weld tolerance must scale with the data: an absolute tolerance
-	// welds every intersection onto the first endpoint once coordinates
-	// shrink below it, collapsing the whole arrangement.
-	tol := RelEps * segMagnitude(s, t)
+	// The snap tolerance must be relative AND local: an absolute tolerance
+	// collapses the whole arrangement once coordinates shrink below it, and
+	// a tolerance scaled by the segments' largest coordinate snaps points
+	// across macroscopic distances when one endpoint sits orders of
+	// magnitude further out than the intersection (an extreme-aspect sliver
+	// reaching from the origin to 1e12 must not pull a crossing near the
+	// origin onto a unit-scale endpoint).
 	for _, e := range [...]Point{s.A, s.B, t.A, t.B} {
-		if p.Near(e, tol) {
+		m := math.Max(math.Max(math.Abs(p.X), math.Abs(p.Y)), math.Max(math.Abs(e.X), math.Abs(e.Y)))
+		if p.Near(e, RelEps*m) {
 			return e
 		}
 	}
 	return p
 }
 
-// segMagnitude returns the largest coordinate magnitude among the four
-// endpoints of two segments — the scale reference for relative tolerances.
-func segMagnitude(s, t Segment) float64 {
-	m := 0.0
-	for _, e := range [...]Point{s.A, s.B, t.A, t.B} {
-		if a := math.Abs(e.X); a > m {
-			m = a
-		}
-		if a := math.Abs(e.Y); a > m {
-			m = a
-		}
+// exactIntersectionParam computes the parameter u of the supporting-line
+// intersection s.A + u·(s.B−s.A) with exact rational arithmetic, rounding
+// only the final quotient to float64. Callers must have established (via the
+// exact orientation tests) that the segments properly cross, so the exact
+// denominator cannot vanish.
+func exactIntersectionParam(s, t Segment) float64 {
+	sax, say := new(big.Rat).SetFloat64(s.A.X), new(big.Rat).SetFloat64(s.A.Y)
+	rx := new(big.Rat).Sub(new(big.Rat).SetFloat64(s.B.X), sax)
+	ry := new(big.Rat).Sub(new(big.Rat).SetFloat64(s.B.Y), say)
+	tax, tay := new(big.Rat).SetFloat64(t.A.X), new(big.Rat).SetFloat64(t.A.Y)
+	dx := new(big.Rat).Sub(new(big.Rat).SetFloat64(t.B.X), tax)
+	dy := new(big.Rat).Sub(new(big.Rat).SetFloat64(t.B.Y), tay)
+
+	denom := new(big.Rat).Sub(new(big.Rat).Mul(rx, dy), new(big.Rat).Mul(ry, dx))
+	if denom.Sign() == 0 {
+		return 0 // exactly parallel: only reachable on endpoint-touch paths
 	}
-	return m
+	wx := new(big.Rat).Sub(tax, sax)
+	wy := new(big.Rat).Sub(tay, say)
+	num := new(big.Rat).Sub(new(big.Rat).Mul(wx, dy), new(big.Rat).Mul(wy, dx))
+	u, _ := new(big.Rat).Quo(num, denom).Float64()
+	return u
 }
 
 // onSegment reports whether p (known collinear with s) lies within s's box.

@@ -228,6 +228,28 @@ func Audit(result geom.Polygon, areaSubject, areaClip float64, op OpKind) error 
 	return nil
 }
 
+// DiffTol is the relative tolerance of the differential oracle: two
+// structurally different engines must agree on the even-odd measure within
+// DiffTol of the input scale for a result to be confirmed.
+const DiffTol = 1e-6
+
+// AuditDifferential is the differential oracle of the fallback chain: it
+// accepts a result when its even-odd area matches the area computed by a
+// structurally different engine within DiffTol, relative to the given scale
+// (or to the areas themselves when they dominate it). Unlike Audit's
+// heuristic upper bound — which cannot decide whether an in-bound result is
+// right — agreement between independently implemented engines is direct
+// evidence, so this is the default oracle when Audit is inconclusive.
+func AuditDifferential(result geom.Polygon, refArea, scale float64) error {
+	got := result.Area()
+	s := math.Max(math.Abs(scale), math.Max(math.Abs(got), math.Abs(refArea)))
+	if math.Abs(got-refArea) <= DiffTol*s {
+		return nil
+	}
+	return fmt.Errorf("differential audit: result area %g disagrees with reference engine area %g (scale %g)",
+		got, refArea, scale)
+}
+
 // String names the operation kind.
 func (op OpKind) String() string {
 	switch op {

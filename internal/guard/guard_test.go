@@ -117,6 +117,30 @@ func TestAudit(t *testing.T) {
 	}
 }
 
+func TestAuditDifferential(t *testing.T) {
+	r := rect(0, 0, 2, 2) // area 4
+	if err := AuditDifferential(r, 4, 20); err != nil {
+		t.Fatalf("exact agreement flagged: %v", err)
+	}
+	// Disagreement within DiffTol of the scale passes.
+	if err := AuditDifferential(r, 4+0.5*DiffTol*20, 20); err != nil {
+		t.Fatalf("in-tolerance agreement flagged: %v", err)
+	}
+	// Disagreement beyond tolerance fails.
+	if err := AuditDifferential(r, 4.01, 20); err == nil {
+		t.Fatal("out-of-tolerance disagreement passed")
+	}
+	// The tolerance is relative to the larger of scale and the areas, so a
+	// tiny scale does not make agreement at large areas impossible.
+	if err := AuditDifferential(r, 4*(1+0.5*DiffTol), 0); err != nil {
+		t.Fatalf("relative tolerance did not track the areas: %v", err)
+	}
+	// A NaN reference area never agrees.
+	if err := AuditDifferential(r, math.NaN(), 20); err == nil {
+		t.Fatal("NaN reference passed")
+	}
+}
+
 func TestFaultInjection(t *testing.T) {
 	defer ClearFaults()
 

@@ -20,8 +20,8 @@ import (
 	"math"
 	"sort"
 
+	"polyclip/internal/arrange"
 	"polyclip/internal/geom"
-	"polyclip/internal/isect"
 	"polyclip/internal/overlay"
 	"polyclip/internal/ringstitch"
 	"polyclip/internal/segtree"
@@ -86,25 +86,25 @@ func Trapezoids(subject, clip geom.Polygon, op Op) []Trapezoid {
 	subject = dropDegenerate(subject)
 	clip = dropDegenerate(clip)
 
+	// Pre-resolve the arrangement: every crossing or overlap between any
+	// two edges — within an operand or across them — becomes a shared
+	// welded vertex, and self-intersecting operands are rewritten as simple
+	// even-odd rings. Scheduling intersection ys on unsplit edges is not
+	// enough: a near-collinear crossing's computed y can land in the wrong
+	// beam, leaving two active edges crossed inside a beam and the emitted
+	// trapezoid corners inverted.
+	subject, clip = arrange.ResolvePair(subject, clip)
+
 	edges := collectEdges(subject, clip)
 	if len(edges) == 0 {
 		return nil
 	}
 
-	// Event schedule: endpoint ys plus intersection ys, so that no two
-	// active edges cross strictly inside any beam. Intersections are found
-	// with the paper's scanbeam-inversion method.
-	segs := make([]geom.Segment, len(edges))
-	for i, ae := range edges {
-		segs[i] = ae.seg
-	}
-	pairs := isect.ScanbeamPairs(segs, 1)
-	ys := make([]float64, 0, 2*len(edges)+len(pairs))
+	// Event schedule: endpoint ys suffice — after resolution no two edges
+	// cross strictly inside any beam.
+	ys := make([]float64, 0, 2*len(edges))
 	for _, ae := range edges {
 		ys = append(ys, ae.seg.A.Y, ae.seg.B.Y)
-	}
-	for _, pt := range isect.Points(segs, pairs) {
-		ys = append(ys, pt.Y)
 	}
 	ys = segtree.Dedup(ys)
 	if len(ys) < 2 {
@@ -173,14 +173,35 @@ func beamTrapezoids(edges []activeEdge, ids []int32, yb, yt float64, op Op, out 
 			left = e.id
 		} else if !now && inOp {
 			l, r := edges[left].seg, edges[e.id].seg
-			*out = append(*out, Trapezoid{
+			tz := Trapezoid{
 				L1: geom.Point{X: l.XAtY(yb), Y: yb},
 				R1: geom.Point{X: r.XAtY(yb), Y: yb},
 				L2: geom.Point{X: l.XAtY(yt), Y: yt},
 				R2: geom.Point{X: r.XAtY(yt), Y: yt},
-			})
+			}
+			ClampCorners(&tz)
+			*out = append(*out, tz)
 		}
 		inOp = now
+	}
+}
+
+// ClampCorners collapses an inverted corner pair — the left bound evaluating
+// right of the right bound on a beam boundary — to its common midpoint.
+// After arrangement resolution this can only come from weld roundoff, so the
+// inversion is at most a few ulps wide; collapsing it keeps the cap
+// intervals well-formed and, because the midpoint is an order-independent
+// function of the two x values, the adjacent beam (which sees the same two
+// edges in swapped order) computes the identical point and the shared caps
+// still cancel exactly.
+func ClampCorners(tz *Trapezoid) {
+	if tz.L1.X > tz.R1.X {
+		m := (tz.L1.X + tz.R1.X) / 2
+		tz.L1.X, tz.R1.X = m, m
+	}
+	if tz.L2.X > tz.R2.X {
+		m := (tz.L2.X + tz.R2.X) / 2
+		tz.L2.X, tz.R2.X = m, m
 	}
 }
 
@@ -253,14 +274,17 @@ func Assemble(tzs []Trapezoid) geom.Polygon {
 	return ringstitch.Stitch(edges)
 }
 
-// snapCorners clusters trapezoid corners that coincide up to a few ulps
-// onto a single representative point. Points are sorted lexicographically
-// and greedily grouped within a tolerance proportional to the data extent.
+// snapCorners welds trapezoid corners that represent the same arrangement
+// vertex by quantizing every coordinate onto a power-of-two grid at
+// geom.RelEps of the data extent. Quantization is a pure function of the
+// coordinate value, so — unlike greedy nearest-neighbour clustering, whose
+// groups depend on scan order and can weld two corners while leaving a
+// third, equally close one apart — corners that must cancel downstream
+// always land on the identical representative. A power-of-two step keeps
+// the grid exact on binary-representable inputs (integers, halves, ...).
 func snapCorners(tzs []Trapezoid) []Trapezoid {
-	pts := make([]geom.Point, 0, 4*len(tzs))
 	box := geom.EmptyBBox()
 	for _, tz := range tzs {
-		pts = append(pts, tz.L1, tz.R1, tz.L2, tz.R2)
 		box.Extend(tz.L1)
 		box.Extend(tz.R1)
 		box.Extend(tz.L2)
@@ -268,31 +292,17 @@ func snapCorners(tzs []Trapezoid) []Trapezoid {
 	}
 	scale := math.Max(box.Width(), box.Height())
 	scale = math.Max(scale, math.Max(math.Abs(box.MaxX), math.Abs(box.MaxY)))
-	if scale == 0 {
-		scale = 1
+	scale = math.Max(scale, math.Max(math.Abs(box.MinX), math.Abs(box.MinY)))
+	if scale == 0 || math.IsInf(scale, 0) {
+		return tzs
 	}
-	eps := scale * 1e-12
-
-	sort.Slice(pts, func(a, b int) bool {
-		if pts[a].X != pts[b].X {
-			return pts[a].X < pts[b].X
-		}
-		return pts[a].Y < pts[b].Y
-	})
-	repr := make(map[geom.Point]geom.Point, len(pts))
-	for i := 0; i < len(pts); {
-		j := i + 1
-		for j < len(pts) && pts[j].X-pts[i].X <= eps && math.Abs(pts[j].Y-pts[i].Y) <= eps {
-			j++
-		}
-		for k := i; k < j; k++ {
-			repr[pts[k]] = pts[i]
-		}
-		i = j
+	eps := math.Ldexp(1, int(math.Ceil(math.Log2(scale*geom.RelEps))))
+	q := func(p geom.Point) geom.Point {
+		return geom.Point{X: math.Round(p.X/eps) * eps, Y: math.Round(p.Y/eps) * eps}
 	}
 	out := make([]Trapezoid, len(tzs))
 	for i, tz := range tzs {
-		out[i] = Trapezoid{L1: repr[tz.L1], R1: repr[tz.R1], L2: repr[tz.L2], R2: repr[tz.R2]}
+		out[i] = Trapezoid{L1: q(tz.L1), R1: q(tz.R1), L2: q(tz.L2), R2: q(tz.R2)}
 	}
 	return out
 }

@@ -116,6 +116,19 @@ func ClipCtx(ctx context.Context, subject, clip Polygon, op Op, opt Options) (Po
 		out = guard.HitPoly("polyclip.result", out)
 		if aerr := guard.Audit(out, areaS, areaC, guard.OpKind(op)); aerr != nil {
 			res.InvariantFailures++
+			// The heuristic bound cannot distinguish a damaged result from a
+			// legitimate one on inputs that defeat the area estimate, so
+			// consult the differential oracle before discarding the attempt:
+			// recompute the measure with a structurally different engine and
+			// accept on agreement (cross-engine concordance is the strongest
+			// evidence available without a ground truth).
+			if !opt.NoFallback && opt.Rule != NonZero {
+				if refArea, ok := crossCheckArea(ctx, subject, clip, op, at.name); ok &&
+					guard.AuditDifferential(out, refArea, areaS+areaC) == nil {
+					res.Attempts = append(res.Attempts, at.name+":differential-ok")
+					return out, fin(st), nil
+				}
+			}
 			if i == len(chain)-1 {
 				// Every engine agrees (or at least fails the same heuristic
 				// bound): the audit is inconclusive, not the result wrong —
@@ -146,6 +159,30 @@ func failureKind(err error) string {
 		return "timeout"
 	}
 	return "panic"
+}
+
+// crossCheckArea computes the even-odd measure of `subject op clip` with an
+// engine structurally different from the attempt under audit: the sequential
+// Vatti sweep normally, the single-threaded overlay arrangement when the
+// failing attempt was Vatti itself. Panic-isolated; ok is false when the
+// reference engine fails too, leaving the caller to the heuristic verdict.
+func crossCheckArea(ctx context.Context, subject, clip Polygon, op Op, attemptName string) (area float64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			area, ok = 0, false
+		}
+	}()
+	var ref Polygon
+	if attemptName == "vatti" {
+		out, err := overlay.ClipCtx(ctx, subject, clip, op, overlay.Options{Parallelism: 1})
+		if err != nil {
+			return 0, false
+		}
+		ref = out
+	} else {
+		ref = vatti.Clip(subject, clip, op)
+	}
+	return ref.Area(), true
 }
 
 // runAttempt runs one engine attempt with panic isolation.

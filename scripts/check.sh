@@ -18,11 +18,29 @@ go build ./...
 echo "== go test"
 go test ./...
 
+echo "== coverage floor (internal/vatti, internal/arrange >= ${COVER_FLOOR:-80}%)"
+COVER_FLOOR="${COVER_FLOOR:-80}"
+for pkg in ./internal/vatti/ ./internal/arrange/; do
+	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	if [ -z "$pct" ]; then
+		echo "could not parse coverage for $pkg" >&2
+		exit 1
+	fi
+	if ! awk -v p="$pct" -v f="$COVER_FLOOR" 'BEGIN{exit !(p >= f)}'; then
+		echo "coverage for $pkg is ${pct}%, below the ${COVER_FLOOR}% floor" >&2
+		exit 1
+	fi
+	echo "$pkg: ${pct}%"
+done
+
 echo "== go test -race ./internal/par (fan-out edge cases first: fast signal)"
 go test -race ./internal/par/
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== differential corpus under -race"
+go test -race -run TestDifferentialCorpus .
 
 for t in FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip; do
 	echo "== fuzz $t ($FUZZTIME)"
