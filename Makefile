@@ -5,7 +5,10 @@ CHAOS_CASES ?= 200
 COVER_FLOOR ?= 80
 COVER_PKGS := ./internal/vatti/ ./internal/arrange/
 
-.PHONY: check build vet test cover race differential fuzz chaos
+PROFILE_EXP ?= table2
+PROFILE_DIR ?= /tmp/polyclip-prof
+
+.PHONY: check build vet test cover race differential fuzz chaos profile
 
 check: vet build test cover race differential fuzz chaos
 
@@ -45,6 +48,14 @@ fuzz:
 		echo "fuzz $$t ($(FUZZTIME))"; \
 		go test -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) . || exit 1; \
 	done
+
+# CPU and heap profiles of one bench experiment (default table2, the
+# scanbeam hot path). Inspect with `go tool pprof $(PROFILE_DIR)/cpu.prof`.
+profile:
+	@mkdir -p $(PROFILE_DIR)
+	go run ./cmd/bench -exp $(PROFILE_EXP) \
+		-cpuprofile $(PROFILE_DIR)/cpu.prof -memprofile $(PROFILE_DIR)/mem.prof
+	@echo "profiles in $(PROFILE_DIR): cpu.prof mem.prof"
 
 # Deterministic chaos sweeps: a clean invariant run, a faulted run (every
 # case takes one injected panic/hang/corruption), and a budgeted faulted run

@@ -88,23 +88,31 @@ func resolve(ops []geom.Polygon) ([]geom.Polygon, bool) {
 		return ops, false
 	}
 
-	// All intersecting pairs, self and cross-operand alike. The grid finder
-	// handles horizontal edges, which the scanbeam finder must not see.
-	pairs := isect.GridPairs(segs, 1)
-
-	// Cut points per edge: every intersection point strictly inside an edge
-	// splits it there. SegIntersection snaps near-endpoint crossings onto
-	// the endpoint exactly, so a point distinct from both endpoints is a
-	// genuine interior split. An operand needs even-odd re-extraction when
-	// two of its own edges meet anywhere beyond a shared endpoint.
-	cuts := make([][]geom.Point, len(segs))
-	selfX := make([]bool, len(ops))
-	needSplit := false
-	for _, pr := range pairs {
-		si, sj := segs[pr.I], segs[pr.J]
+	// Fast-path pre-scan fused with cut collection: stream the grid finder's
+	// candidate pairs (self and cross-operand alike; the grid handles
+	// horizontal edges, which the scanbeam finder must not see) and evaluate
+	// each candidate's intersection exactly once. Cut points per edge: every
+	// intersection point strictly inside an edge splits it there.
+	// SegIntersection snaps near-endpoint crossings onto the endpoint
+	// exactly, so a point distinct from both endpoints is a genuine interior
+	// split. An operand needs even-odd re-extraction when two of its own
+	// edges meet anywhere beyond a shared endpoint.
+	//
+	// The per-edge cut table is allocated lazily, on the first genuine split:
+	// operands that only touch at shared vertices — the common clean
+	// GIS-style case — complete the scan without materializing a pair list,
+	// per-pair verification callbacks, or any per-edge state, and return
+	// unchanged. Candidates sharing several grid cells are streamed more than
+	// once; the logic below is idempotent under revisits (duplicate cut
+	// points collapse in the rebuild's push dedup, the booleans are sticky).
+	var cuts [][]geom.Point
+	var selfX [2]bool
+	anySelf := false
+	isect.VisitCandidatePairs(segs, func(i, j int32) bool {
+		si, sj := segs[i], segs[j]
 		kind, p0, p1 := geom.SegIntersection(si, sj)
 		if kind == geom.Disjoint {
-			continue
+			return true
 		}
 		pts := [2]geom.Point{p0, p1}
 		npts := 1
@@ -115,26 +123,33 @@ func resolve(ops []geom.Polygon) ([]geom.Polygon, bool) {
 		for k := 0; k < npts; k++ {
 			pt := pts[k]
 			if pt != si.A && pt != si.B {
-				cuts[pr.I] = append(cuts[pr.I], pt)
+				if cuts == nil {
+					cuts = make([][]geom.Point, len(segs))
+				}
+				cuts[i] = append(cuts[i], pt)
 				interior = true
-				needSplit = true
 			}
 			if pt != sj.A && pt != sj.B {
-				cuts[pr.J] = append(cuts[pr.J], pt)
+				if cuts == nil {
+					cuts = make([][]geom.Point, len(segs))
+				}
+				cuts[j] = append(cuts[j], pt)
 				interior = true
-				needSplit = true
 			}
 		}
-		if interior && owners[pr.I] == owners[pr.J] {
-			selfX[owners[pr.I]] = true
+		if interior && owners[i] == owners[j] {
+			selfX[owners[i]] = true
+			anySelf = true
 		}
-	}
-	anySelf := false
-	for _, s := range selfX {
-		anySelf = anySelf || s
-	}
-	if !needSplit && !anySelf {
+		return true
+	})
+	if cuts == nil && !anySelf {
 		return ops, false
+	}
+	if cuts == nil {
+		// Collinear same-owner overlaps with no interior split still force
+		// the re-extraction path; the rebuild below indexes the cut table.
+		cuts = make([][]geom.Point, len(segs))
 	}
 
 	weld := weldFunc(segs)

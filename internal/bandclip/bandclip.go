@@ -17,10 +17,49 @@
 package bandclip
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"polyclip/internal/geom"
 )
+
+// endRef is one open chain end lying on a band boundary.
+type endRef struct {
+	x     float64
+	chain int32
+	head  bool // true when this is chains[chain][0]
+}
+
+// link names the (chain, end) joined to another chain's end by a boundary cap.
+type link struct {
+	chain int32
+	head  bool
+}
+
+// clipScratch recycles the chain-pairing buffers of Clip. Slab clipping runs
+// one Clip per slab per operand, in parallel across slabs, so the scratch is
+// pooled. The chains and rings themselves escape into the result and cannot
+// be pooled.
+type clipScratch struct {
+	loEnds, hiEnds []endRef
+	links          [][2]link
+	used           []bool
+}
+
+var clipPool = sync.Pool{New: func() any { return new(clipScratch) }}
+
+func (s *clipScratch) linkBufs(n int) (links [][2]link, used []bool) {
+	if cap(s.links) < n {
+		s.links = make([][2]link, n)
+		s.used = make([]bool, n)
+	}
+	links, used = s.links[:n], s.used[:n]
+	for i := range used {
+		links[i] = [2]link{}
+		used[i] = false
+	}
+	return links, used
+}
 
 // Clip returns the part of the polygon with lo <= y <= hi.
 func Clip(poly geom.Polygon, lo, hi float64) geom.Polygon {
@@ -37,13 +76,11 @@ func Clip(poly geom.Polygon, lo, hi float64) geom.Polygon {
 		return out
 	}
 
+	scratch := clipPool.Get().(*clipScratch)
+	defer clipPool.Put(scratch)
+
 	// Collect chain ends per boundary and pair them by x.
-	type endRef struct {
-		x     float64
-		chain int32
-		head  bool // true when this is chains[chain][0]
-	}
-	var loEnds, hiEnds []endRef
+	loEnds, hiEnds := scratch.loEnds[:0], scratch.hiEnds[:0]
 	addEnd := func(c int32, head bool) {
 		var p geom.Point
 		if head {
@@ -62,16 +99,22 @@ func Clip(poly geom.Polygon, lo, hi float64) geom.Polygon {
 		addEnd(int32(c), true)
 		addEnd(int32(c), false)
 	}
+	scratch.loEnds, scratch.hiEnds = loEnds, hiEnds
 
-	// link[c][0] is the (chain, end) joined to chains[c]'s head, link[c][1]
+	// links[c][0] is the (chain, end) joined to chains[c]'s head, links[c][1]
 	// to its tail.
-	type link struct {
-		chain int32
-		head  bool
-	}
-	links := make([][2]link, len(chains))
+	links, used := scratch.linkBufs(len(chains))
 	pair := func(ends []endRef) {
-		sort.Slice(ends, func(a, b int) bool { return ends[a].x < ends[b].x })
+		slices.SortFunc(ends, func(a, b endRef) int {
+			switch {
+			case a.x < b.x:
+				return -1
+			case a.x > b.x:
+				return 1
+			default:
+				return 0
+			}
+		})
 		for i := 0; i+1 < len(ends); i += 2 {
 			a, b := ends[i], ends[i+1]
 			ia, ib := 1, 1
@@ -89,7 +132,6 @@ func Clip(poly geom.Polygon, lo, hi float64) geom.Polygon {
 	pair(hiEnds)
 
 	// Walk the chain-cap cycles.
-	used := make([]bool, len(chains))
 	for start := range chains {
 		if used[start] {
 			continue

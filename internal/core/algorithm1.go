@@ -2,7 +2,8 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
+	"sync"
 
 	"polyclip/internal/arrange"
 	"polyclip/internal/geom"
@@ -11,6 +12,28 @@ import (
 	"polyclip/internal/segtree"
 	"polyclip/internal/vatti"
 )
+
+// beamEntry is one active edge positioned on a beam's midline.
+type beamEntry struct {
+	xm    float64
+	id    int32
+	owner uint8
+}
+
+// beamOrderPool recycles the per-beam ordering buffers of Step 3; the beam
+// loop runs in parallel, so the scratch is pooled rather than shared.
+var beamOrderPool = sync.Pool{New: func() any { return new(beamOrder) }}
+
+type beamOrder struct {
+	order []beamEntry
+}
+
+func (s *beamOrder) ordered(n int) []beamEntry {
+	if cap(s.order) < n {
+		s.order = make([]beamEntry, n)
+	}
+	return s.order[:n]
+}
 
 // Alg1Report carries the size quantities of the paper's output-sensitive
 // analysis: n input vertices, m scanbeams, k edge intersections and k'
@@ -136,16 +159,21 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 		}
 		yb, yt := ys[bi], ys[bi+1]
 		ymid := (yb + yt) / 2
-		type entry struct {
-			xm    float64
-			id    int32
-			owner uint8
-		}
-		order := make([]entry, len(ids))
+		scratch := beamOrderPool.Get().(*beamOrder)
+		order := scratch.ordered(len(ids))
 		for i, id := range ids {
-			order[i] = entry{edges[id].seg.XAtY(ymid), id, edges[id].owner}
+			order[i] = beamEntry{edges[id].seg.XAtY(ymid), id, edges[id].owner}
 		}
-		sort.Slice(order, func(x, y int) bool { return order[x].xm < order[y].xm })
+		slices.SortFunc(order, func(x, y beamEntry) int {
+			switch {
+			case x.xm < y.xm:
+				return -1
+			case x.xm > y.xm:
+				return 1
+			default:
+				return 0
+			}
+		})
 
 		var inSub, inClip, inOp bool
 		var left int32 = -1
@@ -172,6 +200,7 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 			}
 			inOp = now
 		}
+		beamOrderPool.Put(scratch)
 		perBeam[bi] = out
 	})
 

@@ -1,0 +1,36 @@
+package geom
+
+import "testing"
+
+// TestOrientFastPathAllocFree guards the hot-path contract of the adaptive
+// predicate: when the float filter decides (the overwhelmingly common
+// case), Orient must not allocate at all.
+func TestOrientFastPathAllocFree(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{3, 1}, Point{1, 4}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if Orient(a, b, c) != CounterClockwise {
+			t.Fatal("wrong orientation")
+		}
+	}); avg != 0 {
+		t.Fatalf("Orient clean path allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestOrientExactPathAllocLean guards the pooled exact fallback. The pooled
+// registers eliminate the per-call register allocations, but big.Rat's
+// arithmetic still allocates internal temporaries (normalization runs a GCD
+// on fresh nats), so the budget is a small constant rather than zero — it
+// catches a regression that reintroduces per-call register churn.
+func TestOrientExactPathAllocLean(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{1, 1}, Point{2, 2} // exactly collinear: filter always defers
+	for i := 0; i < 100; i++ {
+		Orient(a, b, c)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if Orient(a, b, c) != Collinear {
+			t.Fatal("wrong orientation")
+		}
+	}); avg > 40 {
+		t.Fatalf("Orient exact path allocates %.1f objects/op, budget 40", avg)
+	}
+}

@@ -3,6 +3,7 @@ package geom
 import (
 	"math"
 	"math/big"
+	"sync"
 )
 
 // Orientation classifies the turn a->b->c.
@@ -64,15 +65,31 @@ func signOf(x float64) Orientation {
 	}
 }
 
-// orientExact computes the orientation determinant exactly with big.Rat.
-func orientExact(a, b, c Point) Orientation {
-	ax, ay := new(big.Rat).SetFloat64(a.X), new(big.Rat).SetFloat64(a.Y)
-	bx, by := new(big.Rat).SetFloat64(b.X), new(big.Rat).SetFloat64(b.Y)
-	cx, cy := new(big.Rat).SetFloat64(c.X), new(big.Rat).SetFloat64(c.Y)
+// ratScratch is a reusable set of big.Rat registers for the exact fallback
+// paths. A big.Rat keeps its numerator/denominator backing storage across
+// Set/Sub/Mul calls, so pooling the registers makes the exact path
+// allocation-free in steady state — the filter already keeps it off the hot
+// path, the pool keeps the cold path from hammering the garbage collector
+// on adversarial (near-degenerate-rich) inputs.
+type ratScratch struct {
+	r [16]big.Rat
+}
 
-	l := new(big.Rat).Mul(new(big.Rat).Sub(ax, cx), new(big.Rat).Sub(by, cy))
-	r := new(big.Rat).Mul(new(big.Rat).Sub(ay, cy), new(big.Rat).Sub(bx, cx))
-	return Orientation(l.Cmp(r))
+var ratPool = sync.Pool{New: func() any { return new(ratScratch) }}
+
+// orientExact computes the orientation determinant exactly with big.Rat,
+// using pooled scratch registers.
+func orientExact(a, b, c Point) Orientation {
+	s := ratPool.Get().(*ratScratch)
+	ax, ay := s.r[0].SetFloat64(a.X), s.r[1].SetFloat64(a.Y)
+	bx, by := s.r[2].SetFloat64(b.X), s.r[3].SetFloat64(b.Y)
+	cx, cy := s.r[4].SetFloat64(c.X), s.r[5].SetFloat64(c.Y)
+
+	l := s.r[8].Mul(s.r[6].Sub(ax, cx), s.r[7].Sub(by, cy))
+	r := s.r[11].Mul(s.r[9].Sub(ay, cy), s.r[10].Sub(bx, cx))
+	o := Orientation(l.Cmp(r))
+	ratPool.Put(s)
+	return o
 }
 
 // IntersectKind describes the result of intersecting two segments.
@@ -194,21 +211,23 @@ func lineIntersectionPoint(s, t Segment) Point {
 // exact orientation tests) that the segments properly cross, so the exact
 // denominator cannot vanish.
 func exactIntersectionParam(s, t Segment) float64 {
-	sax, say := new(big.Rat).SetFloat64(s.A.X), new(big.Rat).SetFloat64(s.A.Y)
-	rx := new(big.Rat).Sub(new(big.Rat).SetFloat64(s.B.X), sax)
-	ry := new(big.Rat).Sub(new(big.Rat).SetFloat64(s.B.Y), say)
-	tax, tay := new(big.Rat).SetFloat64(t.A.X), new(big.Rat).SetFloat64(t.A.Y)
-	dx := new(big.Rat).Sub(new(big.Rat).SetFloat64(t.B.X), tax)
-	dy := new(big.Rat).Sub(new(big.Rat).SetFloat64(t.B.Y), tay)
+	sc := ratPool.Get().(*ratScratch)
+	defer ratPool.Put(sc)
+	sax, say := sc.r[0].SetFloat64(s.A.X), sc.r[1].SetFloat64(s.A.Y)
+	rx := sc.r[2].Sub(sc.r[6].SetFloat64(s.B.X), sax)
+	ry := sc.r[3].Sub(sc.r[6].SetFloat64(s.B.Y), say)
+	tax, tay := sc.r[4].SetFloat64(t.A.X), sc.r[5].SetFloat64(t.A.Y)
+	dx := sc.r[6].Sub(sc.r[8].SetFloat64(t.B.X), tax)
+	dy := sc.r[7].Sub(sc.r[8].SetFloat64(t.B.Y), tay)
 
-	denom := new(big.Rat).Sub(new(big.Rat).Mul(rx, dy), new(big.Rat).Mul(ry, dx))
+	denom := sc.r[8].Sub(sc.r[9].Mul(rx, dy), sc.r[10].Mul(ry, dx))
 	if denom.Sign() == 0 {
 		return 0 // exactly parallel: only reachable on endpoint-touch paths
 	}
-	wx := new(big.Rat).Sub(tax, sax)
-	wy := new(big.Rat).Sub(tay, say)
-	num := new(big.Rat).Sub(new(big.Rat).Mul(wx, dy), new(big.Rat).Mul(wy, dx))
-	u, _ := new(big.Rat).Quo(num, denom).Float64()
+	wx := sc.r[9].Sub(tax, sax)
+	wy := sc.r[10].Sub(tay, say)
+	num := sc.r[11].Sub(sc.r[12].Mul(wx, dy), sc.r[13].Mul(wy, dx))
+	u, _ := sc.r[12].Quo(num, denom).Float64()
 	return u
 }
 

@@ -1,0 +1,156 @@
+package geom
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// orientOracle evaluates the orientation determinant entirely in big.Rat —
+// no filter, no shortcuts — as the ground truth the adaptive Orient must
+// match bit-for-bit on every input.
+func orientOracle(a, b, c Point) Orientation {
+	var ax, ay, bx, by, cx, cy, l1, l2, r1, r2, l, r big.Rat
+	ax.SetFloat64(a.X)
+	ay.SetFloat64(a.Y)
+	bx.SetFloat64(b.X)
+	by.SetFloat64(b.Y)
+	cx.SetFloat64(c.X)
+	cy.SetFloat64(c.Y)
+	l.Mul(l1.Sub(&ax, &cx), l2.Sub(&by, &cy))
+	r.Mul(r1.Sub(&ay, &cy), r2.Sub(&bx, &cx))
+	return Orientation(l.Cmp(&r))
+}
+
+// checkOrientTriple asserts Orient agrees with the exact oracle on the
+// triple and on all cyclic rotations and swaps of it (which must flip or
+// preserve the sign consistently with the oracle's own answers).
+func checkOrientTriple(t *testing.T, a, b, c Point) {
+	t.Helper()
+	triples := [...][3]Point{
+		{a, b, c}, {b, c, a}, {c, a, b}, // cyclic: same sign
+		{b, a, c}, {a, c, b}, {c, b, a}, // swapped: opposite sign
+	}
+	for _, tr := range triples {
+		want := orientOracle(tr[0], tr[1], tr[2])
+		if got := Orient(tr[0], tr[1], tr[2]); got != want {
+			t.Fatalf("Orient(%v, %v, %v) = %d, oracle says %d", tr[0], tr[1], tr[2], got, want)
+		}
+	}
+}
+
+// TestOrientAdversarialUlpCollinear walks points at most a few ulps off an
+// exactly collinear configuration — the region where the float filter's
+// determinant is pure rounding noise and only the exact fallback can decide.
+func TestOrientAdversarialUlpCollinear(t *testing.T) {
+	bases := [...][3]Point{
+		{{0, 0}, {1, 1}, {2, 2}},
+		{{0, 0}, {1e-3, 1e-3}, {12, 12}},
+		{{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}}, // 0.1 is inexact: not truly collinear
+		{{-5, 3}, {0, 3}, {7, 3}},            // horizontal
+		{{2, -4}, {2, 0}, {2, 9}},            // vertical
+	}
+	for _, base := range bases {
+		for dulp := -3; dulp <= 3; dulp++ {
+			for axis := 0; axis < 2; axis++ {
+				for vi := 0; vi < 3; vi++ {
+					p := base
+					v := &p[vi]
+					if axis == 0 {
+						v.X = nudgeUlps(v.X, dulp)
+					} else {
+						v.Y = nudgeUlps(v.Y, dulp)
+					}
+					checkOrientTriple(t, p[0], p[1], p[2])
+				}
+			}
+		}
+	}
+}
+
+// nudgeUlps moves x by n ulps (n may be negative).
+func nudgeUlps(x float64, n int) float64 {
+	for ; n > 0; n-- {
+		x = math.Nextafter(x, math.Inf(1))
+	}
+	for ; n < 0; n++ {
+		x = math.Nextafter(x, math.Inf(-1))
+	}
+	return x
+}
+
+// TestOrientAdversarialScales re-runs the ulp-collinear torture at extreme
+// coordinate magnitudes (2^±332, past the range where the determinant's
+// partial products themselves overflow or denormalize at unit scale).
+func TestOrientAdversarialScales(t *testing.T) {
+	for _, exp := range [...]int{-332, -160, 160, 332} {
+		f := math.Ldexp(1, exp)
+		base := [3]Point{{0, 0}, {f, f}, {2 * f, 2 * f}}
+		for dulp := -2; dulp <= 2; dulp++ {
+			for vi := 0; vi < 3; vi++ {
+				p := base
+				p[vi].Y = nudgeUlps(p[vi].Y, dulp)
+				checkOrientTriple(t, p[0], p[1], p[2])
+			}
+		}
+		// Mixed scale: one coordinate astronomically larger than the others.
+		checkOrientTriple(t, Point{0, 0}, Point{1, 1}, Point{f, f})
+		checkOrientTriple(t, Point{0, 0}, Point{1, nudgeUlps(1, 1)}, Point{f, f})
+	}
+}
+
+// TestOrientAdversarialSlivers forms extreme-aspect sliver triangles — two
+// vertices close together, the third far away along an almost-common line —
+// and random near-degenerate triples, checking every answer against the
+// oracle.
+func TestOrientAdversarialSlivers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		// A point, a direction, and two more points almost on the ray.
+		ax, ay := rng.Float64(), rng.Float64()
+		dx, dy := rng.Float64()-0.5, rng.Float64()-0.5
+		t1 := math.Ldexp(rng.Float64(), rng.Intn(24)) // up to ~1e7 along the ray
+		t2 := t1 * (1 + (rng.Float64()-0.5)*1e-15)    // almost the same parameter
+		a := Point{ax, ay}
+		b := Point{ax + t1*dx, ay + t1*dy}
+		c := Point{ax + t2*dx, ay + t2*dy}
+		checkOrientTriple(t, a, b, c)
+	}
+}
+
+// TestSegIntersectionMatchesOrientOracle crosses sliver segments and checks
+// that the reported kind is consistent with the exact orientations: a
+// Crossing or Overlapping verdict requires the oracle to see the segments
+// touch, and a Disjoint verdict forbids a proper oracle crossing.
+func TestSegIntersectionMatchesOrientOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		ax, ay := rng.Float64(), rng.Float64()
+		dx, dy := rng.Float64()-0.5, rng.Float64()-0.5
+		s := Segment{Point{ax, ay}, Point{ax + dx, ay + dy}}
+		// t shares s's supporting line to within a few ulps, shifted along it.
+		sh := rng.Float64() * 0.5
+		tt := Segment{
+			Point{ax + sh*dx, nudgeUlps(ay+sh*dy, rng.Intn(5)-2)},
+			Point{ax + (sh+1)*dx, nudgeUlps(ay + (sh+1)*dy, rng.Intn(5)-2)},
+		}
+		kind, _, _ := SegIntersection(s, tt)
+		properCross := orientOracle(tt.A, tt.B, s.A)*orientOracle(tt.A, tt.B, s.B) < 0 &&
+			orientOracle(s.A, s.B, tt.A)*orientOracle(s.A, s.B, tt.B) < 0
+		if properCross && kind == Disjoint {
+			t.Fatalf("case %d: oracle sees a proper crossing, SegIntersection says Disjoint\ns=%v t=%v", i, s, tt)
+		}
+		if !properCross && kind == Crossing {
+			// A Crossing verdict without a proper oracle crossing is legal
+			// only via an endpoint-on-segment touch: re-check exactly.
+			touch := orientOracle(tt.A, tt.B, s.A) == Collinear && onSegment(tt, s.A) ||
+				orientOracle(tt.A, tt.B, s.B) == Collinear && onSegment(tt, s.B) ||
+				orientOracle(s.A, s.B, tt.A) == Collinear && onSegment(s, tt.A) ||
+				orientOracle(s.A, s.B, tt.B) == Collinear && onSegment(s, tt.B)
+			if !touch {
+				t.Fatalf("case %d: SegIntersection says Crossing, oracle sees neither a proper crossing nor a touch\ns=%v t=%v", i, s, tt)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package isect
+
+import (
+	"testing"
+
+	"polyclip/internal/geom"
+)
+
+// TestBeamSeqAllocFree guards the scanbeam inner loop: ordering one beam
+// (both scanline sorts, the rank table, and the inversion sequence) must
+// reuse the pooled scratch and allocate nothing once the scratch is sized.
+func TestBeamSeqAllocFree(t *testing.T) {
+	edges := []geom.Segment{
+		{A: geom.Point{X: 0, Y: 0}, B: geom.Point{X: 4, Y: 4}},
+		{A: geom.Point{X: 4, Y: 0}, B: geom.Point{X: 0, Y: 4}},
+		{A: geom.Point{X: 1, Y: 0}, B: geom.Point{X: 1, Y: 4}},
+		{A: geom.Point{X: 3, Y: 0}, B: geom.Point{X: 2, Y: 4}},
+	}
+	ids := []int32{0, 1, 2, 3}
+	s := new(beamScratch)
+	beamSeq(edges, ids, 1, 3, s) // size the scratch
+	if avg := testing.AllocsPerRun(1000, func() {
+		beamSeq(edges, ids, 1, 3, s)
+	}); avg != 0 {
+		t.Fatalf("beamSeq allocates %.1f objects/op with warm scratch, want 0", avg)
+	}
+}
+
+// TestScanbeamPairsAllocBounded guards the whole finder: the per-beam sweep
+// must stay within a small fixed allocation budget per beam (the result
+// slices plus pool traffic), catching regressions that reintroduce
+// per-beam scratch allocation.
+func TestScanbeamPairsAllocBounded(t *testing.T) {
+	// A ladder of crossing diagonals: many beams, a handful of pairs.
+	var edges []geom.Segment
+	for i := 0; i < 16; i++ {
+		f := float64(i)
+		edges = append(edges,
+			geom.Segment{A: geom.Point{X: f, Y: 0.1}, B: geom.Point{X: f + 2, Y: 15.7}},
+			geom.Segment{A: geom.Point{X: f + 2, Y: 0.3}, B: geom.Point{X: f, Y: 15.9}},
+		)
+	}
+	ScanbeamPairs(edges, 1) // warm the pools
+	avg := testing.AllocsPerRun(100, func() {
+		ScanbeamPairs(edges, 1)
+	})
+	// 32 edges make ~64 beam boundaries; before the pooled scratch this
+	// sweep cost thousands of allocations. A generous fixed budget still
+	// catches any per-beam-per-edge regression.
+	const budget = 400
+	if avg > budget {
+		t.Fatalf("ScanbeamPairs allocates %.0f objects/op, budget %d", avg, budget)
+	}
+}

@@ -18,7 +18,7 @@ package isect
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"polyclip/internal/geom"
@@ -26,6 +26,98 @@ import (
 	"polyclip/internal/par"
 	"polyclip/internal/segtree"
 )
+
+// beamScratch holds the per-beam working arrays of the scanbeam finders.
+// Beams are processed in parallel, so each worker draws its own scratch from
+// the pool instead of allocating six slices per beam.
+type beamScratch struct {
+	xb, xt          []float64
+	order, topOrder []int
+	rank, seq       []int
+	at              []boundaryEntry
+}
+
+var beamScratchPool = sync.Pool{New: func() any { return new(beamScratch) }}
+
+func (s *beamScratch) beamBufs(k int) (xb, xt []float64, order, topOrder, rank, seq []int) {
+	if cap(s.xb) < k {
+		s.xb = make([]float64, k)
+		s.xt = make([]float64, k)
+		s.order = make([]int, k)
+		s.topOrder = make([]int, k)
+		s.rank = make([]int, k)
+		s.seq = make([]int, k)
+	}
+	return s.xb[:k], s.xt[:k], s.order[:k], s.topOrder[:k], s.rank[:k], s.seq[:k]
+}
+
+// boundaryEntry positions an edge on a beam boundary scanline.
+type boundaryEntry struct {
+	x  float64
+	id int32
+}
+
+func (s *beamScratch) boundary(n int) []boundaryEntry {
+	if cap(s.at) < n {
+		s.at = make([]boundaryEntry, n)
+	}
+	return s.at[:n]
+}
+
+// beamSeq fills the scratch with the beam's bottom-scanline permutation and
+// the rank sequence whose inversions are its crossing candidates (Fig. 4):
+// order is the bottom order (ties broken along the top so edges sharing a
+// bottom endpoint are not spuriously inverted), topOrder the symmetric top
+// order, and seq the top ranks read in bottom order.
+func beamSeq(edges []geom.Segment, ids []int32, yb, yt float64, s *beamScratch) (xb, xt []float64, order, topOrder, seq []int) {
+	k := len(ids)
+	xb, xt, order, topOrder, rank, seq := s.beamBufs(k)
+	for i, id := range ids {
+		xb[i] = edges[id].XAtY(yb)
+		xt[i] = edges[id].XAtY(yt)
+	}
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		if xb[a] != xb[b] {
+			if xb[a] < xb[b] {
+				return -1
+			}
+			return 1
+		}
+		if xt[a] != xt[b] {
+			if xt[a] < xt[b] {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	copy(topOrder, order)
+	slices.SortFunc(topOrder, func(a, b int) int {
+		if xt[a] != xt[b] {
+			if xt[a] < xt[b] {
+				return -1
+			}
+			return 1
+		}
+		if xb[a] != xb[b] {
+			if xb[a] < xb[b] {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	for r, i := range topOrder {
+		rank[i] = r
+	}
+	for pos, i := range order {
+		seq[pos] = rank[i]
+	}
+	return xb, xt, order, topOrder, seq
+}
 
 // Pair is an unordered pair of edge indices with I < J that intersect in at
 // least one point.
@@ -48,11 +140,11 @@ func verify(edges []geom.Segment, i, j int32) bool {
 
 // dedupPairs sorts and removes duplicates in place.
 func dedupPairs(ps []Pair) []Pair {
-	sort.Slice(ps, func(a, b int) bool {
-		if ps[a].I != ps[b].I {
-			return ps[a].I < ps[b].I
+	slices.SortFunc(ps, func(a, b Pair) int {
+		if a.I != b.I {
+			return int(a.I - b.I)
 		}
-		return ps[a].J < ps[b].J
+		return int(a.J - b.J)
 	})
 	out := ps[:0]
 	for i, p := range ps {
@@ -77,15 +169,22 @@ func BruteForcePairs(edges []geom.Segment) []Pair {
 	return out
 }
 
-// GridPairs returns every intersecting pair using a uniform grid candidate
-// filter with parallelism p. Each edge is binned into the grid cells its
-// bounding box covers; edges sharing a cell are candidates.
-func GridPairs(edges []geom.Segment, p int) []Pair {
-	guard.Hit("isect.pairs")
+// edgeGrid is the uniform-grid candidate structure shared by GridPairs and
+// VisitCandidatePairs: every edge is binned into the cells its bounding box
+// covers, stored in compressed (CSR) form so building it costs three flat
+// allocations regardless of how many cells the data spreads over.
+type edgeGrid struct {
+	minX, minY float64
+	cell       float64
+	nx, ny     int
+	binStart   []int32 // len nx*ny+1: cell c holds binIDs[binStart[c]:binStart[c+1]]
+	binIDs     []int32
+}
+
+// buildGrid bins the edges. Cell size aims for the average edge extent,
+// bounded so the grid stays O(n) cells.
+func buildGrid(edges []geom.Segment) *edgeGrid {
 	n := len(edges)
-	if n < 2 {
-		return nil
-	}
 	box := geom.EmptyBBox()
 	var totalLen float64
 	for _, e := range edges {
@@ -100,8 +199,6 @@ func GridPairs(edges []geom.Segment, p int) []Pair {
 	if h == 0 {
 		h = 1
 	}
-	// Aim for cells around the average edge extent, bounded so the grid
-	// stays O(n) cells.
 	cell := totalLen / float64(n)
 	if cell <= 0 {
 		cell = w / 64
@@ -110,82 +207,110 @@ func GridPairs(edges []geom.Segment, p int) []Pair {
 	for int(w/cell+1)*int(h/cell+1) > maxCells {
 		cell *= 1.5
 	}
-	nx := int(w/cell) + 1
-	ny := int(h/cell) + 1
-
-	cellOf := func(x, y float64) (int, int) {
-		cx := int((x - box.MinX) / cell)
-		cy := int((y - box.MinY) / cell)
-		if cx >= nx {
-			cx = nx - 1
-		}
-		if cy >= ny {
-			cy = ny - 1
-		}
-		if cx < 0 {
-			cx = 0
-		}
-		if cy < 0 {
-			cy = 0
-		}
-		return cx, cy
+	g := &edgeGrid{
+		minX: box.MinX, minY: box.MinY,
+		cell: cell,
+		nx:   int(w/cell) + 1,
+		ny:   int(h/cell) + 1,
 	}
 
-	// Bin edges per cell (two-phase: count then fill, like the rest of the
-	// repository's output-sensitive allocations).
-	counts := make([]int32, nx*ny)
-	eachCell := func(e geom.Segment, fn func(c int)) {
-		lox, hix := e.XSpan()
-		loy, hiy := e.YSpan()
-		cx0, cy0 := cellOf(lox, loy)
-		cx1, cy1 := cellOf(hix, hiy)
-		for cy := cy0; cy <= cy1; cy++ {
-			for cx := cx0; cx <= cx1; cx++ {
-				fn(cy*nx + cx)
-			}
-		}
-	}
+	// Two-phase CSR fill: count cells per edge, prefix-sum, then place ids.
+	counts := make([]int32, g.nx*g.ny+1)
 	for _, e := range edges {
-		eachCell(e, func(c int) { counts[c]++ })
+		g.eachCell(e, func(c int) { counts[c+1]++ })
 	}
-	bins := make([][]int32, nx*ny)
-	for c, cnt := range counts {
-		if cnt > 0 {
-			bins[c] = make([]int32, 0, cnt)
+	for c := 1; c < len(counts); c++ {
+		counts[c] += counts[c-1]
+	}
+	g.binIDs = make([]int32, counts[len(counts)-1])
+	fill := make([]int32, g.nx*g.ny)
+	for i, e := range edges {
+		g.eachCell(e, func(c int) {
+			g.binIDs[counts[c]+fill[c]] = int32(i)
+			fill[c]++
+		})
+	}
+	g.binStart = counts
+	return g
+}
+
+// cellOf clamps a coordinate into grid cell indices.
+func (g *edgeGrid) cellOf(x, y float64) (int, int) {
+	cx := int((x - g.minX) / g.cell)
+	cy := int((y - g.minY) / g.cell)
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	return cx, cy
+}
+
+// eachCell visits the cells covered by the edge's bounding box.
+func (g *edgeGrid) eachCell(e geom.Segment, fn func(c int)) {
+	lox, hix := e.XSpan()
+	loy, hiy := e.YSpan()
+	cx0, cy0 := g.cellOf(lox, loy)
+	cx1, cy1 := g.cellOf(hix, hiy)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			fn(cy*g.nx + cx)
 		}
 	}
-	for i, e := range edges {
-		eachCell(e, func(c int) { bins[c] = append(bins[c], int32(i)) })
+}
+
+// bboxOverlap is the cheap axis-span prefilter applied to cell-sharing
+// candidates before any predicate runs.
+func bboxOverlap(ei, ej geom.Segment) bool {
+	lox1, hix1 := ei.XSpan()
+	lox2, hix2 := ej.XSpan()
+	if hix1 < lox2 || hix2 < lox1 {
+		return false
 	}
+	loy1, hiy1 := ei.YSpan()
+	loy2, hiy2 := ej.YSpan()
+	return hiy1 >= loy2 && hiy2 >= loy1
+}
+
+// GridPairs returns every intersecting pair using a uniform grid candidate
+// filter with parallelism p. Each edge is binned into the grid cells its
+// bounding box covers; edges sharing a cell are candidates.
+func GridPairs(edges []geom.Segment, p int) []Pair {
+	guard.Hit("isect.pairs")
+	n := len(edges)
+	if n < 2 {
+		return nil
+	}
+	g := buildGrid(edges)
 
 	// Candidate pairs per cell, verified, with bbox prefilter; collected
 	// per-goroutine and merged.
+	ncells := g.nx * g.ny
 	results := make([][]Pair, par.DefaultParallelism())
 	if p > 0 {
 		results = make([][]Pair, p)
 	}
 	var mu sync.Mutex
 	next := 0
-	par.ForEach(len(bins), p, func(lo, hi int) {
+	par.ForEach(ncells, p, func(lo, hi int) {
 		mu.Lock()
 		slot := next
 		next++
 		mu.Unlock()
 		var local []Pair
 		for c := lo; c < hi; c++ {
-			ids := bins[c]
+			ids := g.binIDs[g.binStart[c]:g.binStart[c+1]]
 			for a := 0; a < len(ids); a++ {
 				for b := a + 1; b < len(ids); b++ {
 					i, j := ids[a], ids[b]
-					ei, ej := edges[i], edges[j]
-					lox1, hix1 := ei.XSpan()
-					lox2, hix2 := ej.XSpan()
-					if hix1 < lox2 || hix2 < lox1 {
-						continue
-					}
-					loy1, hiy1 := ei.YSpan()
-					loy2, hiy2 := ej.YSpan()
-					if hiy1 < loy2 || hiy2 < loy1 {
+					if !bboxOverlap(edges[i], edges[j]) {
 						continue
 					}
 					if verify(edges, i, j) {
@@ -201,6 +326,37 @@ func GridPairs(edges []geom.Segment, p int) []Pair {
 		all = append(all, r...)
 	}
 	return dedupPairs(all)
+}
+
+// VisitCandidatePairs streams every grid candidate pair — two edges sharing
+// a grid cell whose bounding boxes overlap, exactly the candidate set
+// GridPairs verifies — to visit, sequentially, stopping early when visit
+// returns false. Candidates are NOT verified (callers run their own
+// predicate) and a pair spanning several shared cells is visited once per
+// cell; callers must be idempotent. This is the counting/pre-scan mode of
+// the grid finder: the arrangement fast path uses it to detect "no
+// resolution needed" without materializing, verifying, or deduplicating a
+// pair list.
+func VisitCandidatePairs(edges []geom.Segment, visit func(i, j int32) bool) {
+	if len(edges) < 2 {
+		return
+	}
+	g := buildGrid(edges)
+	ncells := g.nx * g.ny
+	for c := 0; c < ncells; c++ {
+		ids := g.binIDs[g.binStart[c]:g.binStart[c+1]]
+		for a := 0; a < len(ids); a++ {
+			for b := a + 1; b < len(ids); b++ {
+				i, j := ids[a], ids[b]
+				if !bboxOverlap(edges[i], edges[j]) {
+					continue
+				}
+				if !visit(i, j) {
+					return
+				}
+			}
+		}
+	}
 }
 
 // ScanbeamPairs returns every intersecting pair using the paper's
@@ -251,18 +407,25 @@ func ScanbeamPairs(edges []geom.Segment, p int) []Pair {
 	par.ForEachItem(m-1, p, func(bi int) {
 		b := bi + 1 // boundary between beams b-1 and b
 		y := ys[b]
-		type ex struct {
-			x  float64
-			id int32
-		}
-		var at []ex
+		s := beamScratchPool.Get().(*beamScratch)
+		defer beamScratchPool.Put(s)
+		at := s.boundary(len(beams[b-1]) + len(beams[b]))[:0]
 		for _, id := range beams[b-1] {
-			at = append(at, ex{edges[id].XAtY(y), id})
+			at = append(at, boundaryEntry{edges[id].XAtY(y), id})
 		}
 		for _, id := range beams[b] {
-			at = append(at, ex{edges[id].XAtY(y), id})
+			at = append(at, boundaryEntry{edges[id].XAtY(y), id})
 		}
-		sort.Slice(at, func(a, c int) bool { return at[a].x < at[c].x })
+		slices.SortFunc(at, func(a, c boundaryEntry) int {
+			switch {
+			case a.x < c.x:
+				return -1
+			case a.x > c.x:
+				return 1
+			default:
+				return 0
+			}
+		})
 		// Group within a tolerance relative to the coordinate magnitude:
 		// XAtY roundoff is relative, so an absolute grouping tolerance
 		// either misses touching pairs at huge scales or degenerates to one
@@ -312,44 +475,9 @@ func beamPairs(edges []geom.Segment, ids []int32, yb, yt float64) []Pair {
 	if k < 2 {
 		return nil
 	}
-	xb := make([]float64, k)
-	xt := make([]float64, k)
-	for i, id := range ids {
-		xb[i] = edges[id].XAtY(yb)
-		xt[i] = edges[id].XAtY(yt)
-	}
-	// Order along the bottom scanline, ties broken along the top so that
-	// edges sharing a bottom endpoint are not spuriously inverted.
-	order := make([]int, k)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := order[a], order[b]
-		if xb[ia] != xb[ib] {
-			return xb[ia] < xb[ib]
-		}
-		return xt[ia] < xt[ib]
-	})
-	// Rank of each edge along the top scanline (ties by bottom order keep
-	// non-crossing pairs uninverted).
-	topOrder := make([]int, k)
-	copy(topOrder, order)
-	sort.Slice(topOrder, func(a, b int) bool {
-		ia, ib := topOrder[a], topOrder[b]
-		if xt[ia] != xt[ib] {
-			return xt[ia] < xt[ib]
-		}
-		return xb[ia] < xb[ib]
-	})
-	rank := make([]int, k)
-	for r, i := range topOrder {
-		rank[i] = r
-	}
-	seq := make([]int, k)
-	for pos, i := range order {
-		seq[pos] = rank[i]
-	}
+	s := beamScratchPool.Get().(*beamScratch)
+	defer beamScratchPool.Put(s)
+	xb, xt, order, topOrder, seq := beamSeq(edges, ids, yb, yt, s)
 
 	var out []Pair
 	for _, ip := range par.ReportInversions(seq) {
@@ -413,46 +541,13 @@ func CountCrossings(edges []geom.Segment, p int) int64 {
 	counts := make([]int64, len(beams))
 	par.ForEachItem(len(beams), p, func(b int) {
 		ids := beams[b]
-		k := len(ids)
-		if k < 2 {
+		if len(ids) < 2 {
 			return
 		}
-		yb, yt := ys[b], ys[b+1]
-		xb := make([]float64, k)
-		xt := make([]float64, k)
-		for i, id := range ids {
-			xb[i] = edges[id].XAtY(yb)
-			xt[i] = edges[id].XAtY(yt)
-		}
-		order := make([]int, k)
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool {
-			ia, ib := order[a], order[b]
-			if xb[ia] != xb[ib] {
-				return xb[ia] < xb[ib]
-			}
-			return xt[ia] < xt[ib]
-		})
-		topOrder := make([]int, k)
-		copy(topOrder, order)
-		sort.Slice(topOrder, func(a, b int) bool {
-			ia, ib := topOrder[a], topOrder[b]
-			if xt[ia] != xt[ib] {
-				return xt[ia] < xt[ib]
-			}
-			return xb[ia] < xb[ib]
-		})
-		rank := make([]int, k)
-		for r, i := range topOrder {
-			rank[i] = r
-		}
-		seq := make([]int, k)
-		for pos, i := range order {
-			seq[pos] = rank[i]
-		}
+		s := beamScratchPool.Get().(*beamScratch)
+		_, _, _, _, seq := beamSeq(edges, ids, ys[b], ys[b+1], s)
 		counts[b] = par.CountInversions(seq)
+		beamScratchPool.Put(s)
 	})
 	var total int64
 	for _, c := range counts {
@@ -474,7 +569,16 @@ func Points(edges []geom.Segment, pairs []Pair) []geom.Point {
 			pts = append(pts, p0, p1)
 		}
 	}
-	sort.Slice(pts, func(a, b int) bool { return pts[a].Less(pts[b]) })
+	slices.SortFunc(pts, func(a, b geom.Point) int {
+		switch {
+		case a.Less(b):
+			return -1
+		case b.Less(a):
+			return 1
+		default:
+			return 0
+		}
+	})
 	out := pts[:0]
 	for i, p := range pts {
 		if i == 0 || p != out[len(out)-1] {

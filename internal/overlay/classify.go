@@ -2,12 +2,35 @@ package overlay
 
 import (
 	"context"
+	"slices"
 	"sort"
+	"sync"
 
 	"polyclip/internal/geom"
 	"polyclip/internal/par"
 	"polyclip/internal/segtree"
 )
+
+// beamXEntry positions a sub-segment on a beam midline.
+type beamXEntry struct {
+	x  float64
+	id int32
+}
+
+// classifyScratch recycles the per-beam ordering buffer of classifyBeam;
+// beams run in parallel, so each chunk draws its own from the pool.
+type classifyScratch struct {
+	order []beamXEntry
+}
+
+var classifyPool = sync.Pool{New: func() any { return new(classifyScratch) }}
+
+func (s *classifyScratch) ordered(n int) []beamXEntry {
+	if cap(s.order) < n {
+		s.order = make([]beamXEntry, n)
+	}
+	return s.order[:n]
+}
 
 // classify computes, for every unique sub-segment, whether the region on its
 // "left side" is inside the subject and inside the clip polygon. For a
@@ -47,7 +70,7 @@ func classify(ctx context.Context, segs []*useg, p int) {
 	// goroutine that owns that beam classifies segment i, so the parallel
 	// loop below is race-free. Horizontal segments get -1.
 	firstBeam := make([]int, n)
-	par.ForEachItem(n, p, func(i int) {
+	par.ForEachItemGrain(n, p, 512, func(i int) {
 		if segs[i].Lo.Y == segs[i].Hi.Y {
 			firstBeam[i] = -1
 			return
@@ -56,11 +79,13 @@ func classify(ctx context.Context, segs []*useg, p int) {
 	})
 
 	par.ForEach(len(beams), p, func(blo, bhi int) {
+		scratch := classifyPool.Get().(*classifyScratch)
+		defer classifyPool.Put(scratch)
 		for b := blo; b < bhi; b++ {
 			if (b-blo)&63 == 0 && canceled(ctx) {
 				return
 			}
-			classifyBeam(segs, ys, beams[b], firstBeam, b)
+			classifyBeam(segs, ys, beams[b], firstBeam, b, scratch)
 		}
 	})
 
@@ -68,21 +93,26 @@ func classify(ctx context.Context, segs []*useg, p int) {
 }
 
 // classifyBeam runs Lemma 3's parity prefix sums over one scanbeam.
-func classifyBeam(segs []*useg, ys []float64, ids []int32, firstBeam []int, b int) {
+func classifyBeam(segs []*useg, ys []float64, ids []int32, firstBeam []int, b int, scratch *classifyScratch) {
 	if len(ids) == 0 {
 		return
 	}
 	ymid := (ys[b] + ys[b+1]) / 2
-	type entry struct {
-		x  float64
-		id int32
-	}
-	order := make([]entry, len(ids))
+	order := scratch.ordered(len(ids))
 	for k, id := range ids {
 		s := segs[id]
-		order[k] = entry{geom.Segment{A: s.Lo, B: s.Hi}.XAtY(ymid), id}
+		order[k] = beamXEntry{geom.Segment{A: s.Lo, B: s.Hi}.XAtY(ymid), id}
 	}
-	sort.Slice(order, func(a, c int) bool { return order[a].x < order[c].x })
+	slices.SortFunc(order, func(a, c beamXEntry) int {
+		switch {
+		case a.x < c.x:
+			return -1
+		case a.x > c.x:
+			return 1
+		default:
+			return 0
+		}
+	})
 
 	// Lemma 3 generalized: running winding numbers of subject / clip
 	// copies to the left (their parities are the paper's 0/1 prefix
@@ -182,7 +212,7 @@ type dirEdge struct {
 func selectEdges(segs []*useg, op Op, rule FillRule, p int) []dirEdge {
 	keep := make([]int32, 0, len(segs))
 	marks := make([]bool, len(segs))
-	par.ForEachItem(len(segs), p, func(i int) {
+	par.ForEachItemGrain(len(segs), p, 512, func(i int) {
 		s := segs[i]
 		leftIn := op.Eval(rule.Inside(s.WindSubL), rule.Inside(s.WindClipL))
 		rightIn := op.Eval(rule.Inside(s.WindSubL+s.WindSub), rule.Inside(s.WindClipL+s.WindClip))

@@ -24,6 +24,7 @@ import (
 	"context"
 	"math"
 
+	"polyclip/internal/arrange"
 	"polyclip/internal/geom"
 	"polyclip/internal/guard"
 	"polyclip/internal/isect"
@@ -179,6 +180,24 @@ func ClipCtx(ctx context.Context, subject, clip geom.Polygon, op Op, opt Options
 			out := resolveSelf(ctx, subject, eps, opt.Rule, p)
 			return finish(ctx, append(out, resolveSelf(ctx, clip, eps, opt.Rule, p)...))
 		}
+	}
+
+	// Pre-resolve self-intersections per operand (no-op for simple
+	// operands, which is the common case). Interior self-crossings must not
+	// reach the subdivision stage: when both operands share geometry (A∩A,
+	// shared borders), a self-crossing is found once per operand copy with
+	// the segment arguments in different orders, and SegIntersection is not
+	// bit-symmetric under argument swap — the twin split points can land in
+	// adjacent snap cells, breaking the winding symmetry between the
+	// operands and with it the even-odd parity (a polygram's A∩A loses the
+	// area around its crossings). After Resolve, edges of one operand meet
+	// only at shared exact vertices, which subdivide never splits. Resolve
+	// re-extracts the even-odd boundary, so it must not run under NonZero,
+	// where winding multiplicity (same-direction overlapping rings, a
+	// pentagram's doubly-wound centre) is semantic.
+	if opt.Rule == EvenOdd {
+		subject = arrange.Resolve(subject)
+		clip = arrange.Resolve(clip)
 	}
 
 	// Snap the inputs onto the eps grid before pair finding, so that

@@ -3,7 +3,7 @@ package overlay
 import (
 	"context"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"polyclip/internal/geom"
@@ -130,15 +130,29 @@ func subdivide(ctx context.Context, edges []geom.Segment, owners []uint8, pairs 
 		buckets[slot] = local
 	})
 
-	splitsPerEdge := make(map[int32][]geom.Point)
+	// Edge indices are dense, so the split points live in a flat slice
+	// rather than a map.
+	splitsPerEdge := make([][]geom.Point, len(edges))
 	for _, b := range buckets {
 		for _, s := range b {
 			splitsPerEdge[s.edge] = append(splitsPerEdge[s.edge], s.pt)
 		}
 	}
 
-	// Subdivide each edge and fold into the unique-segment table.
+	// Subdivide each edge and fold into the unique-segment table. The usegs
+	// are slab-allocated in blocks: the table holds one pointer per unique
+	// sub-segment and a per-entry heap object would dominate the fold's
+	// allocation count. Blocks are never reallocated, so the handed-out
+	// pointers stay valid.
 	table := make(map[segKey]*useg, len(edges)*2)
+	var slab []useg
+	newUseg := func(a, b geom.Point) *useg {
+		if len(slab) == cap(slab) {
+			slab = make([]useg, 0, 256)
+		}
+		slab = append(slab, useg{Lo: a, Hi: b})
+		return &slab[len(slab)-1]
+	}
 	addPiece := func(a, b geom.Point, owner uint8) {
 		a, b = sn.point(a), sn.point(b)
 		if a == b {
@@ -152,7 +166,7 @@ func subdivide(ctx context.Context, edges []geom.Segment, owners []uint8, pairs 
 		key := segKey{sn.coord(a.X), sn.coord(a.Y), sn.coord(b.X), sn.coord(b.Y)}
 		u := table[key]
 		if u == nil {
-			u = &useg{Lo: a, Hi: b}
+			u = newUseg(a, b)
 			table[key] = u
 		}
 		if owner == 0 {
@@ -166,7 +180,7 @@ func subdivide(ctx context.Context, edges []geom.Segment, owners []uint8, pairs 
 		if i&1023 == 0 && canceled(ctx) {
 			break
 		}
-		pts := splitsPerEdge[int32(i)]
+		pts := splitsPerEdge[i]
 		if len(pts) == 0 {
 			addPiece(e.A, e.B, owners[i])
 			continue
@@ -180,7 +194,17 @@ func subdivide(ctx context.Context, edges []geom.Segment, owners []uint8, pairs 
 			}
 			return q.Sub(e.A).Dot(d) / l2
 		}
-		sort.Slice(pts, func(a, b int) bool { return tOf(pts[a]) < tOf(pts[b]) })
+		slices.SortFunc(pts, func(a, b geom.Point) int {
+			ta, tb := tOf(a), tOf(b)
+			switch {
+			case ta < tb:
+				return -1
+			case ta > tb:
+				return 1
+			default:
+				return 0
+			}
+		})
 		prev := e.A
 		for _, q := range pts {
 			t := tOf(q)
@@ -204,11 +228,21 @@ func subdivide(ctx context.Context, edges []geom.Segment, owners []uint8, pairs 
 		segs = append(segs, u)
 	}
 	// Deterministic order for reproducible stitching.
-	sort.Slice(segs, func(a, b int) bool {
-		if segs[a].Lo != segs[b].Lo {
-			return segs[a].Lo.Less(segs[b].Lo)
+	slices.SortFunc(segs, func(a, b *useg) int {
+		if a.Lo != b.Lo {
+			if a.Lo.Less(b.Lo) {
+				return -1
+			}
+			return 1
 		}
-		return segs[a].Hi.Less(segs[b].Hi)
+		switch {
+		case a.Hi.Less(b.Hi):
+			return -1
+		case b.Hi.Less(a.Hi):
+			return 1
+		default:
+			return 0
+		}
 	})
 	return segs
 }

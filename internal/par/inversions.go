@@ -15,6 +15,42 @@ type InvPair struct {
 	I, J int
 }
 
+// invScratch is the reusable working storage of the inversion mergesorts.
+// The scanbeam engines count/report inversions once per beam, so without
+// reuse the two O(n) temporaries dominate the sweep's allocation profile.
+type invScratch struct {
+	work, buf []int
+	elems     []invElem
+	ebuf      []invElem
+}
+
+var invPool = sync.Pool{New: func() any { return new(invScratch) }}
+
+func (s *invScratch) ints(n int) (work, buf []int) {
+	if cap(s.work) < n {
+		s.work = make([]int, n)
+		s.buf = make([]int, n)
+	}
+	return s.work[:n], s.buf[:n]
+}
+
+func (s *invScratch) elemBufs(n int) (elems, ebuf []invElem) {
+	if cap(s.elems) < n {
+		s.elems = make([]invElem, n)
+		s.ebuf = make([]invElem, n)
+	}
+	return s.elems[:n], s.ebuf[:n]
+}
+
+// invElem carries a value together with its original position through the
+// reporting mergesort.
+type invElem struct{ v, pos int }
+
+// invSerialBase is the subproblem size handed to the insertion-counting base
+// case: below it, binary-splitting recursion costs more than one quadratic
+// pass that counts each element's shift distance.
+const invSerialBase = 48
+
 // CountInversions returns the number of inversions in xs using the extended
 // mergesort of Lemma 4: O(n log n) time, O(n) extra space. xs is not
 // modified. Equal values are not inversions.
@@ -23,10 +59,12 @@ func CountInversions(xs []int) int64 {
 	if n < 2 {
 		return 0
 	}
-	work := make([]int, n)
+	s := invPool.Get().(*invScratch)
+	work, buf := s.ints(n)
 	copy(work, xs)
-	buf := make([]int, n)
-	return countRec(work, buf)
+	inv := countRec(work, buf)
+	invPool.Put(s)
+	return inv
 }
 
 func countRec(xs, buf []int) int64 {
@@ -34,10 +72,31 @@ func countRec(xs, buf []int) int64 {
 	if n < 2 {
 		return 0
 	}
+	if n <= invSerialBase {
+		return countInsertion(xs)
+	}
 	mid := n / 2
 	inv := countRec(xs[:mid], buf[:mid]) + countRec(xs[mid:], buf[mid:])
 	inv += countMerge(xs[:mid], xs[mid:], buf)
 	copy(xs, buf)
+	return inv
+}
+
+// countInsertion sorts xs in place by insertion, counting inversions as
+// shift distances: element i shifts past exactly the earlier elements
+// greater than it. Stable, so equal values are never counted.
+func countInsertion(xs []int) int64 {
+	var inv int64
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+		inv += int64(i - 1 - j)
+	}
 	return inv
 }
 
@@ -81,9 +140,10 @@ func ParallelCountInversions(xs []int, p int) int64 {
 		return 0
 	}
 	p = normalize(p)
-	work := make([]int, n)
+	s := invPool.Get().(*invScratch)
+	defer invPool.Put(s)
+	work, buf := s.ints(n)
 	copy(work, xs)
-	buf := make([]int, n)
 	return countRecPar(work, buf, depthFor(p))
 }
 
@@ -125,15 +185,15 @@ func ReportInversions(xs []int) []InvPair {
 		return out
 	}
 	// Track original positions through the sort.
-	type elem struct{ v, pos int }
-	work := make([]elem, n)
+	s := invPool.Get().(*invScratch)
+	defer invPool.Put(s)
+	work, buf := s.elemBufs(n)
 	for i, v := range xs {
-		work[i] = elem{v, i}
+		work[i] = invElem{v, i}
 	}
-	buf := make([]elem, n)
 
-	var rec func(w, b []elem)
-	rec = func(w, b []elem) {
+	var rec func(w, b []invElem)
+	rec = func(w, b []invElem) {
 		if len(w) < 2 {
 			return
 		}
@@ -184,15 +244,15 @@ func ParallelReportInversions(xs []int, p int) []InvPair {
 		return nil
 	}
 	p = normalize(p)
-	type elem struct{ v, pos int }
-	work := make([]elem, n)
+	s := invPool.Get().(*invScratch)
+	defer invPool.Put(s)
+	work, buf := s.elemBufs(n)
 	for i, v := range xs {
-		work[i] = elem{v, i}
+		work[i] = invElem{v, i}
 	}
-	buf := make([]elem, n)
 
-	var rec func(w, b []elem, depth int) []InvPair
-	rec = func(w, b []elem, depth int) []InvPair {
+	var rec func(w, b []invElem, depth int) []InvPair
+	rec = func(w, b []invElem, depth int) []InvPair {
 		if len(w) < 2 {
 			return nil
 		}

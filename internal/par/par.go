@@ -173,10 +173,35 @@ func ForEachCtx(ctx context.Context, n, p int, fn func(lo, hi int)) error {
 	return Run(ctx, func() { ForEach(n, p, fn) })
 }
 
+// ForEachGrain is ForEach with a minimum chunk size: no worker receives
+// fewer than grain items, so loops whose per-item work is tiny (a flag
+// write, a binary search) don't pay a goroutine spawn per handful of items.
+// Use ForEach (grain 1) for loops with few heavy items — e.g. per-slab
+// clipping, where n is small and each item is a full pipeline stage —
+// which a coarse grain would serialize.
+func ForEachGrain(n, p, grain int, fn func(lo, hi int)) {
+	p = normalize(p)
+	if grain > 1 && n > 0 {
+		if maxP := (n + grain - 1) / grain; p > maxP {
+			p = maxP
+		}
+	}
+	ForEach(n, p, fn)
+}
+
 // ForEachItem runs fn(i) for every i in [0, n) with parallelism p, chunked
 // to amortize scheduling overhead.
 func ForEachItem(n, p int, fn func(i int)) {
 	ForEach(n, p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForEachItemGrain is ForEachItem with ForEachGrain's minimum chunk size.
+func ForEachItemGrain(n, p, grain int, fn func(i int)) {
+	ForEachGrain(n, p, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)
 		}
@@ -307,14 +332,14 @@ func Pack[T any](xs []T, keep []bool, p int) []T {
 		return nil
 	}
 	flags := make([]int, n)
-	ForEachItem(n, p, func(i int) {
+	ForEachItemGrain(n, p, 2048, func(i int) {
 		if keep[i] {
 			flags[i] = 1
 		}
 	})
 	total := ParallelPrefixSum(flags, p)
 	out := make([]T, total)
-	ForEachItem(n, p, func(i int) {
+	ForEachItemGrain(n, p, 2048, func(i int) {
 		if keep[i] {
 			out[flags[i]-1] = xs[i]
 		}

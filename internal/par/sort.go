@@ -1,15 +1,32 @@
 package par
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
 	"polyclip/internal/guard"
 )
 
 // sortSerialCutoff is the subproblem size below which parallel mergesort
-// falls back to the stdlib sort.
+// falls back to the serial sort: below it, goroutine spawn/join overhead
+// exceeds the sort work itself.
 const sortSerialCutoff = 1 << 12
+
+// serialSort is the mergesort base case: the stdlib generic stable sort,
+// which monomorphizes over T and so — unlike sort.SliceStable, whose
+// reflect-based swapper allocates per call — runs allocation-free.
+func serialSort[T any](xs []T, less func(a, b T) bool) {
+	slices.SortStableFunc(xs, func(a, b T) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
 
 // Sort sorts xs by less using a work-efficient parallel mergesort with
 // parallelism p. It is the multicore stand-in for Cole's O(log n) CREW PRAM
@@ -20,7 +37,7 @@ func Sort[T any](xs []T, less func(a, b T) bool, p int) {
 	guard.Hit("par.sort")
 	p = normalize(p)
 	if p == 1 || len(xs) <= sortSerialCutoff {
-		sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		serialSort(xs, less)
 		return
 	}
 	buf := make([]T, len(xs))
@@ -40,7 +57,7 @@ func depthFor(p int) int {
 func mergeSort[T any](xs, buf []T, less func(a, b T) bool, depth int) {
 	n := len(xs)
 	if depth == 0 || n <= sortSerialCutoff {
-		sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		serialSort(xs, less)
 		return
 	}
 	mid := n / 2

@@ -18,6 +18,7 @@ package vatti
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"polyclip/internal/arrange"
@@ -112,51 +113,93 @@ func Trapezoids(subject, clip geom.Polygon, op Op) []Trapezoid {
 	}
 
 	// Sweep: per-beam active edge set maintained from per-boundary start
-	// and end buckets (the minima/maxima tables of Vatti's sweep).
+	// and end buckets (the minima/maxima tables of Vatti's sweep). The
+	// buckets are built in compressed (CSR) form — a counting pass, a prefix
+	// sum and a fill — so the schedule costs three flat allocations instead
+	// of one slice per boundary.
 	m := len(ys) - 1
-	starts := make([][]int32, m+1)
-	ends := make([][]int32, m+1)
+	startAt := make([]int32, len(edges))
+	endAt := make([]int32, len(edges))
+	startOff := make([]int32, m+2)
 	for i, ae := range edges {
-		s := sort.SearchFloat64s(ys, ae.seg.A.Y)
-		e := sort.SearchFloat64s(ys, ae.seg.B.Y)
-		starts[s] = append(starts[s], int32(i))
-		ends[e] = append(ends[e], int32(i))
+		s := int32(sort.SearchFloat64s(ys, ae.seg.A.Y))
+		startAt[i] = s
+		endAt[i] = int32(sort.SearchFloat64s(ys, ae.seg.B.Y))
+		startOff[s+1]++
+	}
+	for b := 1; b < len(startOff); b++ {
+		startOff[b] += startOff[b-1]
+	}
+	startIDs := make([]int32, len(edges))
+	fill := make([]int32, m+1)
+	for i := range edges {
+		s := startAt[i]
+		startIDs[startOff[s]+fill[s]] = int32(i)
+		fill[s]++
 	}
 
-	active := make(map[int32]struct{}, 64)
+	// Active edge list: a compact id slice, each id inserted once at its
+	// start boundary and swept out by one linear compaction per beam once
+	// its end boundary is reached — the same per-beam cost as iterating a
+	// hash set, without the hashing or the iteration-order churn.
+	active := make([]int32, 0, 64)
+	var scratch beamScratch
 	var tzs []Trapezoid
-	ids := make([]int32, 0, 64)
 	for b := 0; b < m; b++ {
-		for _, id := range starts[b] {
-			active[id] = struct{}{}
-		}
-		for _, id := range ends[b] {
-			delete(active, id)
-		}
-		if len(active) >= 2 {
-			ids = ids[:0]
-			for id := range active {
-				ids = append(ids, id)
+		active = append(active, startIDs[startOff[b]:startOff[b+1]]...)
+		w := 0
+		for _, id := range active {
+			if endAt[id] > int32(b) {
+				active[w] = id
+				w++
 			}
-			beamTrapezoids(edges, ids, ys[b], ys[b+1], op, &tzs)
+		}
+		active = active[:w]
+		if len(active) >= 2 {
+			beamTrapezoids(edges, active, ys[b], ys[b+1], op, &scratch, &tzs)
 		}
 	}
 	return tzs
 }
 
+// beamEntry is one active edge positioned on a beam's midline.
+type beamEntry struct {
+	xm    float64
+	id    int32
+	owner uint8
+}
+
+// beamScratch is the per-sweep reusable ordering buffer; the sweep is
+// sequential, so one instance serves every beam with zero steady-state
+// allocation.
+type beamScratch struct {
+	order []beamEntry
+}
+
+func (s *beamScratch) ordered(n int) []beamEntry {
+	if cap(s.order) < n {
+		s.order = make([]beamEntry, n)
+	}
+	return s.order[:n]
+}
+
 // beamTrapezoids emits the op-selected trapezoids of one scanbeam.
-func beamTrapezoids(edges []activeEdge, ids []int32, yb, yt float64, op Op, out *[]Trapezoid) {
+func beamTrapezoids(edges []activeEdge, ids []int32, yb, yt float64, op Op, scratch *beamScratch, out *[]Trapezoid) {
 	ymid := (yb + yt) / 2
-	type entry struct {
-		xm    float64
-		id    int32
-		owner uint8
-	}
-	order := make([]entry, len(ids))
+	order := scratch.ordered(len(ids))
 	for i, id := range ids {
-		order[i] = entry{edges[id].seg.XAtY(ymid), id, edges[id].owner}
+		order[i] = beamEntry{edges[id].seg.XAtY(ymid), id, edges[id].owner}
 	}
-	sort.Slice(order, func(a, b int) bool { return order[a].xm < order[b].xm })
+	slices.SortFunc(order, func(a, b beamEntry) int {
+		switch {
+		case a.xm < b.xm:
+			return -1
+		case a.xm > b.xm:
+			return 1
+		default:
+			return 0
+		}
+	})
 
 	// Lemma 1/3: walk left to right flipping per-polygon parity; emit a
 	// trapezoid for every maximal run where the operation holds.
@@ -245,14 +288,23 @@ func Assemble(tzs []Trapezoid) geom.Polygon {
 
 	edges := ringstitch.CancelOpposites(sides)
 
-	// Per boundary: net coverage sweep over the interval endpoints.
+	// Per boundary: net coverage sweep over the interval endpoints. The
+	// endpoint and coverage buffers are reused across boundaries.
+	var xs []float64
+	var net []int
 	for y, ivs := range caps {
-		xs := make([]float64, 0, 2*len(ivs))
+		xs = xs[:0]
 		for _, iv := range ivs {
 			xs = append(xs, iv.x0, iv.x1)
 		}
 		xs = segtree.Dedup(xs)
-		net := make([]int, len(xs)-1)
+		if cap(net) < len(xs)-1 {
+			net = make([]int, len(xs)-1)
+		}
+		net = net[:len(xs)-1]
+		for i := range net {
+			net[i] = 0
+		}
 		for _, iv := range ivs {
 			a := sort.SearchFloat64s(xs, iv.x0)
 			b := sort.SearchFloat64s(xs, iv.x1)

@@ -228,30 +228,40 @@ func TestStageDeadlineBoundsHungWorker(t *testing.T) {
 	b := circle(1, 1, 10, 512)
 	want := Area(Clip(a, b, Intersection))
 
-	guard.WithFault(t, "par.worker", guard.Once(func() { time.Sleep(5 * time.Second) }))
-
 	const budget = 500 * time.Millisecond
-	ctx, cancel := context.WithTimeout(context.Background(), budget)
-	defer cancel()
+	// The one-shot fault can be stolen by a worker goroutine abandoned by an
+	// earlier test: abandoned workers keep running by design (see par.Run)
+	// and hit the same "par.worker" site. A stolen fault leaves our clip
+	// running clean, so re-arm and retry until the fault lands in this run.
+	for attempt := 0; ; attempt++ {
+		guard.WithFault(t, "par.worker", guard.Once(func() { time.Sleep(5 * time.Second) }))
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		start := time.Now()
+		out, st, err := ClipCtx(ctx, a, b, Intersection, Options{Algorithm: AlgoSlabs, Threads: 4})
+		elapsed := time.Since(start)
+		cancel()
 
-	start := time.Now()
-	out, st, err := ClipCtx(ctx, a, b, Intersection, Options{Algorithm: AlgoSlabs, Threads: 4})
-	elapsed := time.Since(start)
-
-	if elapsed > 2*budget {
-		t.Fatalf("clip with a hung worker took %v, want <= %v (2x budget)", elapsed, 2*budget)
-	}
-	if err != nil {
-		t.Fatalf("hung worker not rescued: %v", err)
-	}
-	if got := Area(out); math.Abs(got-want) > 1e-6*want {
-		t.Fatalf("rescued area %g, want %g", got, want)
-	}
-	if st.Resilience.StageTimeouts < 1 {
-		t.Fatalf("StageTimeouts = %d, want >= 1 (resilience: %+v)", st.Resilience.StageTimeouts, st.Resilience)
-	}
-	if st.Resilience.Retries < 1 {
-		t.Fatalf("Retries = %d, want >= 1", st.Resilience.Retries)
+		if elapsed > 2*budget {
+			t.Fatalf("clip with a hung worker took %v, want <= %v (2x budget)", elapsed, 2*budget)
+		}
+		if err != nil {
+			t.Fatalf("hung worker not rescued: %v", err)
+		}
+		if st.Resilience.StageTimeouts < 1 {
+			if attempt < 4 {
+				guard.ClearFault("par.worker")
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			t.Fatalf("StageTimeouts = %d, want >= 1 (resilience: %+v)", st.Resilience.StageTimeouts, st.Resilience)
+		}
+		if st.Resilience.Retries < 1 {
+			t.Fatalf("Retries = %d, want >= 1", st.Resilience.Retries)
+		}
+		if got := Area(out); math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("rescued area %g, want %g", got, want)
+		}
+		return
 	}
 }
 

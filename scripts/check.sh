@@ -36,11 +36,17 @@ done
 echo "== go test -race ./internal/par (fan-out edge cases first: fast signal)"
 go test -race ./internal/par/
 
+echo "== adversarial predicates vs exact oracle under -race"
+go test -race -run 'Adversarial|MatchesOrientOracle' ./internal/geom/
+
 echo "== go test -race"
 go test -race ./...
 
 echo "== differential corpus under -race"
 go test -race -run TestDifferentialCorpus .
+
+echo "== bench smoke (one iteration, alloc counters live)"
+go test -run='^$' -bench=. -benchtime=1x -benchmem . > /dev/null
 
 for t in FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip; do
 	echo "== fuzz $t ($FUZZTIME)"
