@@ -1,16 +1,16 @@
 FUZZTIME ?= 10s
-FUZZ_TARGETS := FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip
+FUZZ_TARGETS := FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip FuzzClipAllEngines
 CHAOS_SEED ?= 1
 CHAOS_CASES ?= 200
 COVER_FLOOR ?= 80
-COVER_PKGS := ./internal/vatti/ ./internal/arrange/
+COVER_PKGS := ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/
 
 PROFILE_EXP ?= table2
 PROFILE_DIR ?= /tmp/polyclip-prof
 
-.PHONY: check build vet test cover race differential fuzz chaos profile
+.PHONY: check build vet test cover race differential conformance fuzz chaos profile
 
-check: vet build test cover race differential fuzz chaos
+check: vet build test cover race differential conformance fuzz chaos
 
 build:
 	go build ./...
@@ -36,10 +36,15 @@ cover:
 race:
 	go test -race ./...
 
-# The golden-file differential corpus must agree across all three engines
+# The golden-file differential corpus must agree across all engines
 # with the race detector watching the parallel ones.
 differential:
 	go test -race -run TestDifferentialCorpus .
+
+# Engine conformance: every registered engine against the golden corpus,
+# the rule x op capability matrix, trapezoid declarations, cancellation.
+conformance:
+	go test -race -run TestConformance ./internal/engine/
 
 # Each native fuzz target gets a short smoke run; raise FUZZTIME for real
 # fuzzing sessions (e.g. make fuzz FUZZTIME=10m).

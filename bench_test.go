@@ -15,6 +15,7 @@ import (
 
 	"polyclip/internal/core"
 	"polyclip/internal/data"
+	"polyclip/internal/engine"
 	"polyclip/internal/isect"
 	"polyclip/internal/overlay"
 	"polyclip/internal/par"
@@ -262,8 +263,8 @@ func BenchmarkAblationPartition(b *testing.B) {
 // slab algorithm.
 func BenchmarkAblationEngines(b *testing.B) {
 	subject, clip := data.SyntheticPair(9, 2000, 2000)
-	engines := map[string]core.Engine{"overlay": core.EngineOverlay, "vatti": core.EngineVatti}
-	for name, eng := range engines {
+	for _, name := range []string{"overlay", "vatti"} {
+		eng := engine.MustGet(name)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.ClipPair(subject, clip, core.Intersection, core.Options{Threads: 4, Engine: eng})

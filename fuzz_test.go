@@ -2,9 +2,11 @@ package polyclip
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 
+	"polyclip/internal/engine"
 	"polyclip/internal/guard"
 )
 
@@ -139,6 +141,69 @@ func FuzzClipRoundTrip(f *testing.F) {
 		scale := guard.MeasureBound(subject) + guard.MeasureBound(clip)
 		if va := Area(seq); math.Abs(va-a) > 1e-6*math.Max(scale, math.Max(va, a)) {
 			t.Fatalf("vatti area %g disagrees with default engine %g (ops %q %v %q)", va, a, ws, op, wc)
+		}
+	})
+}
+
+// FuzzClipAllEngines drives every registered engine through the registry on
+// the same WKT pair and operation: no engine may panic, and all engines that
+// accept the input must agree on the clipped measure. Engines run with
+// NoFallback, so a drifting engine fails by name rather than being silently
+// rescued by a sibling.
+func FuzzClipAllEngines(f *testing.F) {
+	for i, s := range wktSeeds {
+		f.Add(s, wktSeeds[(i+3)%len(wktSeeds)], uint8(i%4))
+	}
+	f.Fuzz(func(t *testing.T, ws, wc string, opByte uint8) {
+		subject, err := ParseWKT(ws)
+		if err != nil {
+			return
+		}
+		clip, err := ParseWKT(wc)
+		if err != nil {
+			return
+		}
+		if subject.NumVertices() > 64 || clip.NumVertices() > 64 {
+			return
+		}
+		op := Op(opByte % 4)
+		scale := guard.MeasureBound(subject) + guard.MeasureBound(clip)
+
+		type outcome struct {
+			name string
+			area float64
+		}
+		var got []outcome
+		for _, e := range engine.All() {
+			if !e.Capabilities().Rules.Has(engine.EvenOdd) {
+				// Declared unsupported under the corpus rule: the conformance
+				// rule matrix pins the typed rejection; nothing to compare.
+				continue
+			}
+			res, err := e.Clip(context.Background(), subject, clip, op,
+				engine.Options{Threads: 2, NoFallback: true})
+			if err != nil {
+				// Real errors (overflowing coordinates, guard rejections) are
+				// acceptable; only panics are bugs, and those crash the fuzzer.
+				// A declared-capable engine must never reject with ErrUnsupported.
+				if errors.Is(err, engine.ErrUnsupported) {
+					t.Fatalf("%s: rejected a declared-capable rule: %v", e.Name(), err)
+				}
+				continue
+			}
+			a := Area(res.Polygon)
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				t.Fatalf("%s: non-finite area (ops %q %v %q)", e.Name(), ws, op, wc)
+			}
+			got = append(got, outcome{e.Name(), a})
+		}
+		// Cross-check: every pair of succeeding engines must agree.
+		for i := 1; i < len(got); i++ {
+			x, y := got[0], got[i]
+			if math.Abs(x.area-y.area) > 1e-6*math.Max(scale, math.Max(x.area, y.area)) {
+				t.Fatalf("engines disagree: %s area %g vs %s area %g (ops %q %v %q)",
+					x.name, x.area, y.name, y.area, ws, op, wc)
+			}
 		}
 	})
 }

@@ -17,18 +17,15 @@
 package bandclip
 
 import (
-	"slices"
 	"sync"
 
 	"polyclip/internal/geom"
+	"polyclip/internal/scanbeam"
 )
 
-// endRef is one open chain end lying on a band boundary.
-type endRef struct {
-	x     float64
-	chain int32
-	head  bool // true when this is chains[chain][0]
-}
+// Chain ends lying on a band boundary are scanbeam entries: X is the end's
+// boundary position, ID the chain index, and Owner records which end of the
+// chain it is (1 = head, i.e. chains[ID][0]).
 
 // link names the (chain, end) joined to another chain's end by a boundary cap.
 type link struct {
@@ -38,12 +35,11 @@ type link struct {
 
 // clipScratch recycles the chain-pairing buffers of Clip. Slab clipping runs
 // one Clip per slab per operand, in parallel across slabs, so the scratch is
-// pooled. The chains and rings themselves escape into the result and cannot
-// be pooled.
+// pooled. The boundary-end buffers come from the shared scanbeam pool; the
+// chains and rings themselves escape into the result and cannot be pooled.
 type clipScratch struct {
-	loEnds, hiEnds []endRef
-	links          [][2]link
-	used           []bool
+	links [][2]link
+	used  []bool
 }
 
 var clipPool = sync.Pool{New: func() any { return new(clipScratch) }}
@@ -78,9 +74,13 @@ func Clip(poly geom.Polygon, lo, hi float64) geom.Polygon {
 
 	scratch := clipPool.Get().(*clipScratch)
 	defer clipPool.Put(scratch)
+	loScr, hiScr := scanbeam.Get(), scanbeam.Get()
+	defer scanbeam.Put(loScr)
+	defer scanbeam.Put(hiScr)
 
 	// Collect chain ends per boundary and pair them by x.
-	loEnds, hiEnds := scratch.loEnds[:0], scratch.hiEnds[:0]
+	loEnds := loScr.Grow(2 * len(chains))
+	hiEnds := hiScr.Grow(2 * len(chains))
 	addEnd := func(c int32, head bool) {
 		var p geom.Point
 		if head {
@@ -88,7 +88,10 @@ func Clip(poly geom.Polygon, lo, hi float64) geom.Polygon {
 		} else {
 			p = chains[c][len(chains[c])-1]
 		}
-		ref := endRef{p.X, c, head}
+		ref := scanbeam.Entry{X: p.X, ID: c}
+		if head {
+			ref.Owner = 1
+		}
 		if p.Y == lo {
 			loEnds = append(loEnds, ref)
 		} else {
@@ -99,33 +102,25 @@ func Clip(poly geom.Polygon, lo, hi float64) geom.Polygon {
 		addEnd(int32(c), true)
 		addEnd(int32(c), false)
 	}
-	scratch.loEnds, scratch.hiEnds = loEnds, hiEnds
+	loScr.Keep(loEnds)
+	hiScr.Keep(hiEnds)
 
 	// links[c][0] is the (chain, end) joined to chains[c]'s head, links[c][1]
 	// to its tail.
 	links, used := scratch.linkBufs(len(chains))
-	pair := func(ends []endRef) {
-		slices.SortFunc(ends, func(a, b endRef) int {
-			switch {
-			case a.x < b.x:
-				return -1
-			case a.x > b.x:
-				return 1
-			default:
-				return 0
-			}
-		})
+	pair := func(ends []scanbeam.Entry) {
+		scanbeam.SortByX(ends)
 		for i := 0; i+1 < len(ends); i += 2 {
 			a, b := ends[i], ends[i+1]
 			ia, ib := 1, 1
-			if a.head {
+			if a.Owner == 1 {
 				ia = 0
 			}
-			if b.head {
+			if b.Owner == 1 {
 				ib = 0
 			}
-			links[a.chain][ia] = link{b.chain, b.head}
-			links[b.chain][ib] = link{a.chain, a.head}
+			links[a.ID][ia] = link{b.ID, b.Owner == 1}
+			links[b.ID][ib] = link{a.ID, a.Owner == 1}
 		}
 	}
 	pair(loEnds)
@@ -207,6 +202,12 @@ func clipRing(r geom.Ring, lo, hi float64, out *geom.Polygon, chains *[]geom.Rin
 
 	for i := 0; i < n; i++ {
 		a, b := r[i], r[(i+1)%n]
+		if a == b {
+			// A zero-length edge must not break the current chain: flushing
+			// here would leave chain ends in the band interior, corrupting the
+			// boundary-pairing parity walk.
+			continue
+		}
 		pa, pb, ok := clipEdgeToBand(a, b, lo, hi)
 		if !ok {
 			flush()

@@ -2,38 +2,15 @@ package core
 
 import (
 	"context"
-	"slices"
-	"sync"
 
 	"polyclip/internal/arrange"
 	"polyclip/internal/geom"
 	"polyclip/internal/isect"
 	"polyclip/internal/par"
+	"polyclip/internal/scanbeam"
 	"polyclip/internal/segtree"
 	"polyclip/internal/vatti"
 )
-
-// beamEntry is one active edge positioned on a beam's midline.
-type beamEntry struct {
-	xm    float64
-	id    int32
-	owner uint8
-}
-
-// beamOrderPool recycles the per-beam ordering buffers of Step 3; the beam
-// loop runs in parallel, so the scratch is pooled rather than shared.
-var beamOrderPool = sync.Pool{New: func() any { return new(beamOrder) }}
-
-type beamOrder struct {
-	order []beamEntry
-}
-
-func (s *beamOrder) ordered(n int) []beamEntry {
-	if cap(s.order) < n {
-		s.order = make([]beamEntry, n)
-	}
-	return s.order[:n]
-}
 
 // Alg1Report carries the size quantities of the paper's output-sensitive
 // analysis: n input vertices, m scanbeams, k edge intersections and k'
@@ -148,6 +125,11 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 	rep.Procs = rep.N + rep.K + rep.KPrime
 
 	// Step 3: per-beam classification and trapezoid emission, in parallel.
+	// The ordering buffers come from the shared scanbeam pool: the beam loop
+	// runs concurrently, so scratches are pooled rather than shared.
+	edgeAt := func(id int32) (geom.Segment, uint8) {
+		return edges[id].seg, edges[id].owner
+	}
 	perBeam := make([][]vatti.Trapezoid, len(beams))
 	par.ForEachItem(len(beams), p, func(bi int) {
 		if bi&63 == 0 && canceled(ctx) {
@@ -157,50 +139,10 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 		if len(ids) < 2 {
 			return
 		}
-		yb, yt := ys[bi], ys[bi+1]
-		ymid := (yb + yt) / 2
-		scratch := beamOrderPool.Get().(*beamOrder)
-		order := scratch.ordered(len(ids))
-		for i, id := range ids {
-			order[i] = beamEntry{edges[id].seg.XAtY(ymid), id, edges[id].owner}
-		}
-		slices.SortFunc(order, func(x, y beamEntry) int {
-			switch {
-			case x.xm < y.xm:
-				return -1
-			case x.xm > y.xm:
-				return 1
-			default:
-				return 0
-			}
-		})
-
-		var inSub, inClip, inOp bool
-		var left int32 = -1
+		scratch := scanbeam.Get()
 		var out []vatti.Trapezoid
-		for _, e := range order {
-			if e.owner == 0 {
-				inSub = !inSub
-			} else {
-				inClip = !inClip
-			}
-			now := op.Eval(inSub, inClip)
-			if now && !inOp {
-				left = e.id
-			} else if !now && inOp {
-				l, r := edges[left].seg, edges[e.id].seg
-				tz := vatti.Trapezoid{
-					L1: geom.Point{X: l.XAtY(yb), Y: yb},
-					R1: geom.Point{X: r.XAtY(yb), Y: yb},
-					L2: geom.Point{X: l.XAtY(yt), Y: yt},
-					R2: geom.Point{X: r.XAtY(yt), Y: yt},
-				}
-				vatti.ClampCorners(&tz)
-				out = append(out, tz)
-			}
-			inOp = now
-		}
-		beamOrderPool.Put(scratch)
+		scanbeam.BeamTrapezoids(scratch, ids, ys[bi], ys[bi+1], op, edgeAt, &out)
+		scanbeam.Put(scratch)
 		perBeam[bi] = out
 	})
 

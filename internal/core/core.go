@@ -21,38 +21,30 @@ package core
 import (
 	"context"
 	"errors"
-	"math"
 	"sync/atomic"
 	"time"
 
 	"polyclip/internal/bandclip"
+	"polyclip/internal/engine"
 	"polyclip/internal/geom"
 	"polyclip/internal/guard"
-	"polyclip/internal/overlay"
 	"polyclip/internal/par"
-	"polyclip/internal/vatti"
+
+	// Linked for their init-time engine registration: any program importing
+	// core can resolve the slab-hostable engines by name.
+	_ "polyclip/internal/overlay"
+	_ "polyclip/internal/vatti"
 )
 
-// Op re-exports the operation type shared by all engines.
-type Op = overlay.Op
+// Op re-exports the canonical operation type (see internal/engine).
+type Op = engine.Op
 
 // Supported operations.
 const (
-	Intersection = overlay.Intersection
-	Union        = overlay.Union
-	Difference   = overlay.Difference
-	Xor          = overlay.Xor
-)
-
-// Engine selects the sequential clipper run inside each slab.
-type Engine uint8
-
-// Available engines.
-const (
-	// EngineOverlay is the subdivision/classification engine (default).
-	EngineOverlay Engine = iota
-	// EngineVatti is the scanbeam sweep engine (the GPC stand-in).
-	EngineVatti
+	Intersection = engine.Intersection
+	Union        = engine.Union
+	Difference   = engine.Difference
+	Xor          = engine.Xor
 )
 
 // MergeMode selects how per-slab partial outputs are combined.
@@ -97,8 +89,10 @@ type Options struct {
 	// timers are only CPU-attributable when workers do not outnumber
 	// cores).
 	Slabs int
-	// Engine is the per-slab sequential clipper.
-	Engine Engine
+	// Engine is the per-slab sequential clipper: any registered engine whose
+	// capabilities declare SlabHostable. nil selects the registry's default
+	// slab host (the overlay engine when linked).
+	Engine engine.Engine
 	// Merge selects the partial-output merge strategy.
 	Merge MergeMode
 	// Partition selects the slab boundary placement.
@@ -109,120 +103,35 @@ type Options struct {
 	NoFallback bool
 }
 
-// Stats reports where the time went, for the paper's figures.
-type Stats struct {
-	Slabs     int             // number of slabs actually used
-	Sort      time.Duration   // Step 1–2: event sort
-	Partition time.Duration   // Steps 4–5: rectangle clipping into slabs
-	Clip      time.Duration   // Step 6: per-slab clipping (wall clock)
-	Merge     time.Duration   // Step 8: merging partial outputs
-	PerThread []time.Duration // per-slab clip time (Fig. 11 load balance)
-	// Resilience records what the hardened clipping path did: input repair,
-	// the engine attempts and their outcomes, and recovered worker panics.
-	Resilience Resilience
-}
+// Stats reports where the time went, for the paper's figures. It aliases the
+// canonical engine-facing type (see internal/engine).
+type Stats = engine.Stats
 
 // Resilience is the record of the hardened pipeline's interventions for one
-// clipping run.
-type Resilience struct {
-	// Repaired reports that guard.Repair modified an input (duplicate
-	// vertices, spikes, or degenerate rings removed).
-	Repaired bool
-	// Attempts lists every engine attempt as "name:outcome", in order —
-	// e.g. ["slabs:panic", "overlay-coarse:audit-fail", "vatti:ok"].
-	Attempts []string
-	// Recovered counts worker panics (or abandoned stages) that were rescued
-	// — by a stage retry or a fallback engine — without surfacing an error.
-	Recovered int
-	// StageTimeouts counts pipeline stages abandoned by their watchdog
-	// because the stage's share of the deadline expired before every worker
-	// finished.
-	StageTimeouts int
-	// Retries counts stage-level retry attempts: a timed-out or panicked
-	// stage is re-run once, sequentially, on fresh buffers.
-	Retries int
-	// InvariantFailures counts failed result-invariant checks: audit
-	// rejections in the differential-fallback chain and metamorphic
-	// invariant violations found by the chaos harness.
-	InvariantFailures int
+// clipping run (see internal/engine).
+type Resilience = engine.Resilience
+
+// slabEngine resolves the per-slab sequential engine: the configured one, or
+// the registry's default slab host when unset.
+func slabEngine(opt Options) engine.Engine {
+	if opt.Engine != nil {
+		return opt.Engine
+	}
+	e, ok := engine.SlabHost("overlay")
+	if !ok {
+		panic("core: no slab-hostable engine registered")
+	}
+	return e
 }
 
-// Merge accumulates another record's counters into r (the Attempts list is
-// concatenated). Used when one logical clip runs several engine attempts,
-// each with its own Stats.
-func (r *Resilience) Merge(o Resilience) {
-	r.Repaired = r.Repaired || o.Repaired
-	r.Attempts = append(r.Attempts, o.Attempts...)
-	r.Recovered += o.Recovered
-	r.StageTimeouts += o.StageTimeouts
-	r.Retries += o.Retries
-	r.InvariantFailures += o.InvariantFailures
-}
-
-// CriticalPath returns the modelled parallel clip time: the maximum
-// per-thread clip time. On hosts with fewer cores than threads the wall
-// clock cannot show the paper's scaling; max-over-slabs is the
-// machine-independent quantity the speedup figures are shaped by.
-func (s *Stats) CriticalPath() time.Duration {
-	var m time.Duration
-	for _, d := range s.PerThread {
-		if d > m {
-			m = d
-		}
-	}
-	return m
-}
-
-// TotalWork returns the summed per-thread clip time.
-func (s *Stats) TotalWork() time.Duration {
-	var t time.Duration
-	for _, d := range s.PerThread {
-		t += d
-	}
-	return t
-}
-
-// ModelledParallel returns the modelled end-to-end duration with p
-// concurrent workers: sort + partition + per-slab work scheduled greedily
-// over p workers + merge. This is what Figures 8/10/12 plot when the host
-// has fewer physical cores than threads.
-func (s *Stats) ModelledParallel(p int) time.Duration {
-	if p <= 0 {
-		p = 1
-	}
-	// Greedy longest-processing-time schedule of slab times onto p workers.
-	loads := make([]time.Duration, p)
-	for _, d := range s.PerThread {
-		mi := 0
-		for i := 1; i < p; i++ {
-			if loads[i] < loads[mi] {
-				mi = i
-			}
-		}
-		loads[mi] += d
-	}
-	var mx time.Duration
-	for _, l := range loads {
-		if l > mx {
-			mx = l
-		}
-	}
-	return s.Sort + s.Partition + mx + s.Merge
-}
-
-// engineClip dispatches to the selected sequential engine. snapEps is the
-// vertex grid shared by every slab of one run, so that seam geometry
-// produced independently by different workers quantizes identically. A
-// cancelled ctx makes the overlay engine bail early; the surrounding loops
-// detect the cancellation and discard the partial output.
-func engineClip(ctx context.Context, e Engine, a, b geom.Polygon, op Op, snapEps float64) geom.Polygon {
-	switch e {
-	case EngineVatti:
-		return vatti.Clip(a, b, op)
-	default:
-		out, _ := overlay.ClipCtx(ctx, a, b, op, overlay.Options{Parallelism: 1, SnapEps: snapEps})
-		return out
-	}
+// slabClip runs a sequential engine on one slab's operands. snapEps is the
+// vertex grid shared by every slab of one run, so that seam geometry produced
+// independently by different workers quantizes identically. A cancelled ctx
+// makes cancellable engines bail early; the surrounding loops detect the
+// cancellation and discard the partial output.
+func slabClip(ctx context.Context, e engine.Engine, a, b geom.Polygon, op Op, snapEps float64) geom.Polygon {
+	res, _ := e.Clip(ctx, a, b, op, engine.Options{Threads: 1, SnapEps: snapEps})
+	return res.Polygon
 }
 
 // canceled is the cheap in-loop cancellation poll.
@@ -335,29 +244,6 @@ func stallIfExpired(sctx context.Context) error {
 	return nil
 }
 
-// snapEpsFor picks the shared vertex grid for one clipping run.
-func snapEpsFor(a, b geom.Polygon) float64 {
-	box := a.BBox().Union(b.BBox())
-	m := box.Width()
-	if h := box.Height(); h > m {
-		m = h
-	}
-	// The grid must also respect the absolute coordinate magnitude:
-	// float64 cannot address (and int64 cannot index) positions finer than
-	// a relative 1e-12 of the largest coordinate.
-	for _, v := range [...]float64{box.MinX, box.MaxX, box.MinY, box.MaxY} {
-		if a := math.Abs(v); a > m && !math.IsInf(a, 0) {
-			m = a
-		}
-	}
-	if m <= 0 {
-		m = 1
-	}
-	// Round the grid up to a power of two so quantizing binary-representable
-	// coordinates (integers, halves, ...) is exact and outputs stay clean.
-	return math.Pow(2, math.Ceil(math.Log2(m*geom.RelEps)))
-}
-
 // ClipPair clips two polygons with the multi-threaded Algorithm 2. A worker
 // panic propagates as a panic on the calling goroutine (recoverable); the
 // hardened public API uses ClipPairCtx instead, which returns it as an
@@ -399,7 +285,8 @@ func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (ge
 		nslabs = p
 	}
 	st := &Stats{}
-	snapEps := snapEpsFor(a, b)
+	snapEps := geom.AutoSnapEps(a, b)
+	eng := slabEngine(opt)
 
 	// Step 1–2: event schedule.
 	t0 := time.Now()
@@ -417,7 +304,7 @@ func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (ge
 		return nil, st, err
 	}
 	if len(ys) == 0 {
-		out := engineClip(ctx, opt.Engine, a, b, op, snapEps)
+		out := slabClip(ctx, eng, a, b, op, snapEps)
 		return out, st, ctx.Err()
 	}
 
@@ -429,7 +316,7 @@ func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (ge
 		var out geom.Polygon
 		err := runStage(ctx, st, "clip", fracClip, p, opt.NoFallback, func(sctx context.Context, _ int) error {
 			var o geom.Polygon
-			if err := par.Run(sctx, func() { o = engineClip(sctx, opt.Engine, a, b, op, snapEps) }); err != nil {
+			if err := par.Run(sctx, func() { o = slabClip(sctx, eng, a, b, op, snapEps) }); err != nil {
 				return err
 			}
 			if err := stallIfExpired(sctx); err != nil {
@@ -497,7 +384,7 @@ func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (ge
 					}()
 					guard.Hit("core.slab-clip")
 					ts := time.Now()
-					pt[i] = engineClip(sctx, opt.Engine, subA[i], subB[i], op, snapEps)
+					pt[i] = slabClip(sctx, eng, subA[i], subB[i], op, snapEps)
 					tt[i] = time.Since(ts)
 				}(i)
 			}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"polyclip/internal/engine"
 	"polyclip/internal/geom"
 	"polyclip/internal/overlay"
 )
@@ -46,10 +47,10 @@ func TestClipPairEngines(t *testing.T) {
 	a := geom.Polygon{geom.Star(geom.Point{X: 0, Y: 0}, 5, 2, 12, 0.3)}
 	b := geom.Polygon{geom.Star(geom.Point{X: 1, Y: 1}, 5, 2, 10, 0.7)}
 	want := seqArea(a, b, Intersection)
-	for _, eng := range []Engine{EngineOverlay, EngineVatti} {
-		got, _ := ClipPair(a, b, Intersection, Options{Threads: 4, Engine: eng})
+	for _, name := range []string{"overlay", "vatti"} {
+		got, _ := ClipPair(a, b, Intersection, Options{Threads: 4, Engine: engine.MustGet(name)})
 		if math.Abs(got.Area()-want) > 1e-6*(1+want) {
-			t.Errorf("engine=%d: got %v want %v", eng, got.Area(), want)
+			t.Errorf("engine=%s: got %v want %v", name, got.Area(), want)
 		}
 	}
 }

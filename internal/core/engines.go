@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+
+	"polyclip/internal/engine"
+	"polyclip/internal/geom"
+)
+
+// slabsEngine adapts the multi-threaded Algorithm 2 slab decomposition
+// (ClipPairCtx) to the engine registry. It is not itself slab-hostable — a
+// slab hosting slabs would recurse — but it can host any registered
+// slab-hostable engine inside its workers.
+type slabsEngine struct{}
+
+func (slabsEngine) Name() string { return "slabs" }
+
+func (slabsEngine) Capabilities() engine.Capabilities {
+	return engine.Capabilities{
+		Rules:       engine.RuleMask(engine.EvenOdd),
+		Cancellable: true,
+		Parallel:    true,
+	}
+}
+
+func (e slabsEngine) Clip(ctx context.Context, a, b geom.Polygon, op engine.Op, opt engine.Options) (engine.Result, error) {
+	if err := engine.CheckRule(e, opt.Rule); err != nil {
+		return engine.Result{}, err
+	}
+	out, st, err := ClipPairCtx(ctx, a, b, op, Options{
+		Threads: opt.Threads, Slabs: opt.Slabs, NoFallback: opt.NoFallback,
+	})
+	return engine.Result{Polygon: out, Stats: st}, err
+}
+
+// scanbeamEngine adapts the CREW PRAM Algorithm 1 realization
+// (AlgorithmOneCtx) to the engine registry.
+type scanbeamEngine struct{}
+
+func (scanbeamEngine) Name() string { return "scanbeam" }
+
+func (scanbeamEngine) Capabilities() engine.Capabilities {
+	return engine.Capabilities{
+		Rules:       engine.RuleMask(engine.EvenOdd),
+		Cancellable: true,
+		Parallel:    true,
+	}
+}
+
+func (e scanbeamEngine) Clip(ctx context.Context, a, b geom.Polygon, op engine.Op, opt engine.Options) (engine.Result, error) {
+	if err := engine.CheckRule(e, opt.Rule); err != nil {
+		return engine.Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out, _ := AlgorithmOneCtx(ctx, a, b, op, opt.Threads)
+	if err := ctx.Err(); err != nil {
+		return engine.Result{}, err
+	}
+	return engine.Result{Polygon: out}, nil
+}
+
+func init() {
+	engine.Register(slabsEngine{})
+	engine.Register(scanbeamEngine{})
+}

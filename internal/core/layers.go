@@ -8,6 +8,7 @@ import (
 
 	"polyclip/internal/rtree"
 
+	"polyclip/internal/engine"
 	"polyclip/internal/geom"
 	"polyclip/internal/guard"
 	"polyclip/internal/par"
@@ -74,7 +75,7 @@ func ClipLayersCtx(ctx context.Context, a, b Layer, op Op, opt Options) ([]geom.
 		nslabs = p
 	}
 	st := &Stats{}
-	snapEps := snapEpsFor(flatten(a), flatten(b))
+	snapEps := geom.AutoSnapEps(flatten(a), flatten(b))
 
 	// Event list: MBR y-extents of every feature (two events per feature).
 	t0 := time.Now()
@@ -190,29 +191,31 @@ func ClipLayersCtx(ctx context.Context, a, b Layer, op Op, opt Options) ([]geom.
 
 // pairClipSafe clips one candidate feature pair with panic isolation: a
 // panic in the selected engine is recovered and — unless opt.NoFallback —
-// the pair is retried once with the other sequential engine. The returned
-// bool reports a successful rescue; a non-nil *guard.ClipError means both
-// the engine and its rescue failed (or fallback was disabled).
+// the pair is retried once with a different slab-hostable engine from the
+// registry (the differential rescue). The returned bool reports a successful
+// rescue; a non-nil *guard.ClipError means both the engine and its rescue
+// failed (or fallback was disabled).
 func pairClipSafe(ctx context.Context, opt Options, a, b geom.Polygon, op Op, snapEps float64, pr [2]int32) (geom.Polygon, bool, *guard.ClipError) {
-	run := func(e Engine) (out geom.Polygon, ce *guard.ClipError) {
+	eng := slabEngine(opt)
+	run := func(e engine.Engine) (out geom.Polygon, ce *guard.ClipError) {
 		defer func() {
 			if r := recover(); r != nil {
 				ce = guard.FromPanic("pair-clip", -1, [2]int{int(pr[0]), int(pr[1])}, r)
 			}
 		}()
 		guard.Hit("core.pair-clip")
-		return engineClip(ctx, e, a, b, op, snapEps), nil
+		return slabClip(ctx, e, a, b, op, snapEps), nil
 	}
-	out, ce := run(opt.Engine)
+	out, ce := run(eng)
 	if ce == nil {
 		return out, false, nil
 	}
 	if opt.NoFallback {
 		return nil, false, ce
 	}
-	alt := EngineVatti
-	if opt.Engine == EngineVatti {
-		alt = EngineOverlay
+	alt, ok := engine.SlabAlternate(eng.Name())
+	if !ok {
+		return nil, false, ce
 	}
 	out, ce2 := run(alt)
 	if ce2 != nil {

@@ -1,0 +1,176 @@
+package engine_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"polyclip/internal/engine"
+	"polyclip/internal/geom"
+	"polyclip/internal/guard"
+	"polyclip/internal/wkt"
+
+	// Registers all four engines: core contributes slabs + scanbeam and links
+	// overlay + vatti for theirs.
+	_ "polyclip/internal/core"
+)
+
+// diffCase mirrors the golden differential corpus schema (see the root
+// package's differential test, which owns regeneration).
+type diffCase struct {
+	Name    string             `json:"name"`
+	Subject string             `json:"subject"`
+	Clip    string             `json:"clip"`
+	Areas   map[string]float64 `json:"areas"`
+}
+
+const corpusDir = "../../testdata/differential"
+
+// TestConformanceGoldenCorpus runs every registered engine against the golden
+// differential corpus: each engine must reproduce the pinned area of every
+// operation on every case it declares capable (all engines implement EvenOdd,
+// the corpus rule), with internal fallbacks disabled so a drifting engine
+// fails by name rather than being silently rescued.
+func TestConformanceGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden files in %s (err=%v)", corpusDir, err)
+	}
+	engines := engine.All()
+	if len(engines) < 4 {
+		t.Fatalf("registry has %d engines, want at least 4 (overlay, scanbeam, slabs, vatti)", len(engines))
+	}
+	for _, fn := range files {
+		raw, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c diffCase
+		if err := json.Unmarshal(raw, &c); err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			subj, err := wkt.Unmarshal(c.Subject)
+			if err != nil {
+				t.Fatalf("subject WKT: %v", err)
+			}
+			clip, err := wkt.Unmarshal(c.Clip)
+			if err != nil {
+				t.Fatalf("clip WKT: %v", err)
+			}
+			scale := guard.MeasureBound(subj) + guard.MeasureBound(clip)
+			for _, op := range engine.Ops() {
+				want, ok := c.Areas[op.String()]
+				if !ok {
+					t.Fatalf("golden file has no %s area", op)
+				}
+				for _, e := range engines {
+					if !e.Capabilities().Rules.Has(engine.EvenOdd) {
+						continue // declared unsupported; the rule matrix covers the rejection
+					}
+					res, err := e.Clip(context.Background(), subj, clip, op,
+						engine.Options{Threads: 4, NoFallback: true})
+					if err != nil {
+						t.Errorf("%s %s: %v", e.Name(), op, err)
+						continue
+					}
+					if got := res.Polygon.Area(); math.Abs(got-want) > 1e-6*math.Max(scale, want) {
+						t.Errorf("%s %s: area = %g, want %g", e.Name(), op, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceRuleMatrix drives every registered engine through the full
+// fill-rule x operation matrix on a winding-sensitive input (two
+// same-direction overlapping rings, whose region differs between EvenOdd and
+// NonZero). Supported combinations must produce the analytic area; declared
+// unsupported rules must be rejected with ErrUnsupported for every operation
+// — never served silently.
+func TestConformanceRuleMatrix(t *testing.T) {
+	subject := geom.Polygon{
+		{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}},
+		{{X: 2, Y: 2}, {X: 6, Y: 2}, {X: 6, Y: 6}, {X: 2, Y: 6}},
+	}
+	frame := geom.RectPolygon(-1, -1, 7, 7) // area 64, contains the subject
+	want := map[engine.FillRule]map[engine.Op]float64{
+		// EvenOdd: the doubly-covered overlap square is a hole; region = 24.
+		engine.EvenOdd: {
+			engine.Intersection: 24, engine.Union: 64,
+			engine.Difference: 0, engine.Xor: 40,
+		},
+		// NonZero: same-direction overlap stays interior; region = 28.
+		engine.NonZero: {
+			engine.Intersection: 28, engine.Union: 64,
+			engine.Difference: 0, engine.Xor: 36,
+		},
+	}
+	for _, e := range engine.All() {
+		caps := e.Capabilities()
+		for _, rule := range engine.Rules() {
+			for _, op := range engine.Ops() {
+				res, err := e.Clip(context.Background(), subject, frame, op,
+					engine.Options{Threads: 2, Rule: rule, NoFallback: true})
+				if !caps.Rules.Has(rule) {
+					if !errors.Is(err, engine.ErrUnsupported) {
+						t.Errorf("%s %s/%s: err = %v, want ErrUnsupported", e.Name(), rule, op, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Errorf("%s %s/%s: %v", e.Name(), rule, op, err)
+					continue
+				}
+				if got := res.Polygon.Area(); math.Abs(got-want[rule][op]) > 1e-6 {
+					t.Errorf("%s %s/%s: area = %g, want %g", e.Name(), rule, op, got, want[rule][op])
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceTrapezoider checks that every engine declaring Trapezoids
+// actually implements the Trapezoider interface and that its decomposition
+// carries the right measure, and that no engine implements it undeclared.
+func TestConformanceTrapezoider(t *testing.T) {
+	a := geom.RectPolygon(0, 0, 4, 4)
+	b := geom.RectPolygon(2, 2, 6, 6)
+	for _, e := range engine.All() {
+		tr, ok := e.(engine.Trapezoider)
+		if e.Capabilities().Trapezoids != ok {
+			t.Errorf("%s: Trapezoids capability %v but Trapezoider implemented = %v",
+				e.Name(), e.Capabilities().Trapezoids, ok)
+		}
+		if !ok {
+			continue
+		}
+		var sum float64
+		for _, tz := range tr.Trapezoids(a, b, engine.Intersection) {
+			sum += tz.Area()
+		}
+		if math.Abs(sum-4) > 1e-9 {
+			t.Errorf("%s: trapezoid area sum = %g, want 4", e.Name(), sum)
+		}
+	}
+}
+
+// TestConformanceCancellation checks that every engine surfaces an
+// already-cancelled context as an error instead of returning a result.
+func TestConformanceCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := geom.RectPolygon(0, 0, 4, 4)
+	b := geom.RectPolygon(2, 2, 6, 6)
+	for _, e := range engine.All() {
+		_, err := e.Clip(ctx, a, b, engine.Intersection, engine.Options{Threads: 1})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", e.Name(), err)
+		}
+	}
+}

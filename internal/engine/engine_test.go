@@ -1,0 +1,265 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"polyclip/internal/engine"
+	"polyclip/internal/geom"
+)
+
+func TestOpStringAndEval(t *testing.T) {
+	cases := []struct {
+		op   engine.Op
+		name string
+		tt   bool // Eval(true, true)
+		tf   bool // Eval(true, false)
+	}{
+		{engine.Intersection, "intersection", true, false},
+		{engine.Union, "union", true, true},
+		{engine.Difference, "difference", false, true},
+		{engine.Xor, "xor", false, true},
+	}
+	for _, c := range cases {
+		if c.op.String() != c.name {
+			t.Errorf("%d: String() = %q, want %q", c.op, c.op.String(), c.name)
+		}
+		if c.op.Eval(true, true) != c.tt || c.op.Eval(true, false) != c.tf {
+			t.Errorf("%s: Eval truth table wrong", c.name)
+		}
+		if c.op.Eval(false, false) {
+			t.Errorf("%s: Eval(false, false) = true", c.name)
+		}
+	}
+	if engine.Op(99).String() != "unknown" {
+		t.Errorf("invalid op String() = %q", engine.Op(99).String())
+	}
+	if engine.Op(99).Eval(true, true) {
+		t.Error("invalid op Eval = true")
+	}
+	if len(engine.Ops()) != 4 {
+		t.Errorf("Ops() has %d entries, want 4", len(engine.Ops()))
+	}
+}
+
+func TestFillRule(t *testing.T) {
+	if engine.EvenOdd.String() != "evenodd" || engine.NonZero.String() != "nonzero" {
+		t.Error("fill rule names wrong")
+	}
+	if engine.FillRule(9).String() != "unknown" {
+		t.Error("invalid rule String")
+	}
+	if !engine.EvenOdd.Inside(1) || engine.EvenOdd.Inside(2) || !engine.EvenOdd.Inside(-3) {
+		t.Error("EvenOdd.Inside wrong")
+	}
+	if !engine.NonZero.Inside(2) || engine.NonZero.Inside(0) || !engine.NonZero.Inside(-1) {
+		t.Error("NonZero.Inside wrong")
+	}
+	if len(engine.Rules()) != 2 {
+		t.Errorf("Rules() has %d entries, want 2", len(engine.Rules()))
+	}
+}
+
+func TestRuleMask(t *testing.T) {
+	s := engine.RuleMask(engine.EvenOdd)
+	if !s.Has(engine.EvenOdd) || s.Has(engine.NonZero) {
+		t.Error("single-rule mask wrong")
+	}
+	both := engine.RuleMask(engine.EvenOdd, engine.NonZero)
+	if !both.Has(engine.EvenOdd) || !both.Has(engine.NonZero) {
+		t.Error("two-rule mask wrong")
+	}
+}
+
+func TestCheckRuleAndUnsupportedError(t *testing.T) {
+	vatti := engine.MustGet("vatti")
+	if err := engine.CheckRule(vatti, engine.EvenOdd); err != nil {
+		t.Errorf("vatti EvenOdd: %v", err)
+	}
+	err := engine.CheckRule(vatti, engine.NonZero)
+	if !errors.Is(err, engine.ErrUnsupported) {
+		t.Fatalf("vatti NonZero: err = %v, want ErrUnsupported", err)
+	}
+	var ue *engine.UnsupportedError
+	if !errors.As(err, &ue) || ue.Engine != "vatti" || ue.Rule != engine.NonZero {
+		t.Errorf("UnsupportedError fields = %+v", ue)
+	}
+	if !strings.Contains(err.Error(), "vatti") || !strings.Contains(err.Error(), "nonzero") {
+		t.Errorf("error text %q lacks engine/rule", err.Error())
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if _, ok := engine.Get("no-such-engine"); ok {
+		t.Error("Get of unknown name succeeded")
+	}
+	for _, name := range []string{"overlay", "scanbeam", "slabs", "vatti"} {
+		e, ok := engine.Get(name)
+		if !ok || e.Name() != name {
+			t.Errorf("Get(%q) = %v, %v", name, e, ok)
+		}
+		if engine.MustGet(name).Name() != name {
+			t.Errorf("MustGet(%q) wrong engine", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet of unknown name did not panic")
+		}
+	}()
+	engine.MustGet("no-such-engine")
+}
+
+func TestRegistryAllSorted(t *testing.T) {
+	all := engine.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name() >= all[i].Name() {
+			t.Fatalf("All() not sorted: %q before %q", all[i-1].Name(), all[i].Name())
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	e, ok := engine.Select(func(e engine.Engine) bool {
+		return e.Capabilities().Rules.Has(engine.NonZero)
+	})
+	if !ok || e.Name() != "overlay" {
+		t.Errorf("Select(NonZero) = %v, %v; want overlay", e, ok)
+	}
+	if _, ok := engine.Select(func(engine.Engine) bool { return false }); ok {
+		t.Error("Select(never) succeeded")
+	}
+}
+
+func TestSlabHostAndAlternate(t *testing.T) {
+	if e, ok := engine.SlabHost("overlay"); !ok || e.Name() != "overlay" {
+		t.Errorf("SlabHost(overlay) = %v, %v", e, ok)
+	}
+	// A non-hostable preference falls back to the first hostable engine.
+	if e, ok := engine.SlabHost("slabs"); !ok || !e.Capabilities().SlabHostable {
+		t.Errorf("SlabHost(slabs) = %v, %v", e, ok)
+	}
+	if e, ok := engine.SlabHost(""); !ok || !e.Capabilities().SlabHostable {
+		t.Errorf("SlabHost(\"\") = %v, %v", e, ok)
+	}
+	alt, ok := engine.SlabAlternate("overlay")
+	if !ok || alt.Name() == "overlay" || !alt.Capabilities().SlabHostable {
+		t.Errorf("SlabAlternate(overlay) = %v, %v", alt, ok)
+	}
+	alt, ok = engine.SlabAlternate("vatti")
+	if !ok || alt.Name() == "vatti" || !alt.Capabilities().SlabHostable {
+		t.Errorf("SlabAlternate(vatti) = %v, %v", alt, ok)
+	}
+}
+
+func TestReference(t *testing.T) {
+	if ref, ok := engine.Reference("overlay", engine.EvenOdd); !ok || ref.Name() != "vatti" {
+		t.Errorf("Reference(overlay, EvenOdd) = %v, %v; want vatti", ref, ok)
+	}
+	ref, ok := engine.Reference("vatti", engine.EvenOdd)
+	if !ok || ref.Name() == "vatti" {
+		t.Errorf("Reference(vatti, EvenOdd) = %v, %v; want a different engine", ref, ok)
+	}
+	// No second engine implements NonZero, so auditing overlay under NonZero
+	// has no oracle.
+	if _, ok := engine.Reference("overlay", engine.NonZero); ok {
+		t.Error("Reference(overlay, NonZero) found an oracle; none should exist")
+	}
+}
+
+func TestStatsMethods(t *testing.T) {
+	st := engine.Stats{
+		Sort: 1 * time.Millisecond, Partition: 2 * time.Millisecond,
+		Merge:     3 * time.Millisecond,
+		PerThread: []time.Duration{5 * time.Millisecond, 7 * time.Millisecond, 4 * time.Millisecond},
+	}
+	if st.CriticalPath() != 7*time.Millisecond {
+		t.Errorf("CriticalPath = %v", st.CriticalPath())
+	}
+	if st.TotalWork() != 16*time.Millisecond {
+		t.Errorf("TotalWork = %v", st.TotalWork())
+	}
+	// One worker: serializes all slabs.
+	if got := st.ModelledParallel(1); got != (1+2+3+16)*time.Millisecond {
+		t.Errorf("ModelledParallel(1) = %v", got)
+	}
+	// Two workers: LPT puts 7 alone, 5+4 together -> max 9.
+	if got := st.ModelledParallel(2); got != (1+2+3+9)*time.Millisecond {
+		t.Errorf("ModelledParallel(2) = %v", got)
+	}
+	if got := st.ModelledParallel(0); got != st.ModelledParallel(1) {
+		t.Errorf("ModelledParallel(0) = %v, want the p=1 value", got)
+	}
+}
+
+func TestResilienceMerge(t *testing.T) {
+	var r engine.Resilience
+	r.Merge(engine.Resilience{Repaired: true, Attempts: []string{"a:ok"}, Recovered: 1})
+	r.Merge(engine.Resilience{Attempts: []string{"b:panic"}, StageTimeouts: 2, Retries: 3, InvariantFailures: 4})
+	if !r.Repaired || r.Recovered != 1 || r.StageTimeouts != 2 || r.Retries != 3 || r.InvariantFailures != 4 {
+		t.Errorf("merged counters wrong: %+v", r)
+	}
+	if len(r.Attempts) != 2 || r.Attempts[0] != "a:ok" || r.Attempts[1] != "b:panic" {
+		t.Errorf("merged attempts wrong: %v", r.Attempts)
+	}
+}
+
+func TestTrapezoidRingArea(t *testing.T) {
+	full := engine.Trapezoid{
+		L1: geom.Point{X: 0, Y: 0}, R1: geom.Point{X: 2, Y: 0},
+		L2: geom.Point{X: 0, Y: 1}, R2: geom.Point{X: 2, Y: 1},
+	}
+	if r := full.Ring(); len(r) != 4 {
+		t.Errorf("rectangle trapezoid ring has %d vertices, want 4", len(r))
+	}
+	if math.Abs(full.Area()-2) > 1e-12 {
+		t.Errorf("rectangle trapezoid area = %g, want 2", full.Area())
+	}
+	tri := engine.Trapezoid{
+		L1: geom.Point{X: 0, Y: 0}, R1: geom.Point{X: 2, Y: 0},
+		L2: geom.Point{X: 1, Y: 1}, R2: geom.Point{X: 1, Y: 1},
+	}
+	if r := tri.Ring(); len(r) != 3 {
+		t.Errorf("degenerate trapezoid ring has %d vertices, want 3", len(r))
+	}
+	if math.Abs(tri.Area()-1) > 1e-12 {
+		t.Errorf("triangle area = %g, want 1", tri.Area())
+	}
+}
+
+// badEngine lets the registration guards be exercised; its registrations all
+// panic before mutating the registry.
+type badEngine struct {
+	name  string
+	rules engine.RuleSet
+}
+
+func (b badEngine) Name() string { return b.name }
+func (b badEngine) Capabilities() engine.Capabilities {
+	return engine.Capabilities{Rules: b.rules}
+}
+func (badEngine) Clip(context.Context, geom.Polygon, geom.Polygon, engine.Op, engine.Options) (engine.Result, error) {
+	return engine.Result{}, nil
+}
+
+func TestRegisterGuards(t *testing.T) {
+	mustPanic := func(name string, e engine.Engine) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		engine.Register(e)
+	}
+	mustPanic("empty name", badEngine{name: "", rules: engine.RuleMask(engine.EvenOdd)})
+	mustPanic("duplicate", badEngine{name: "overlay", rules: engine.RuleMask(engine.EvenOdd)})
+	mustPanic("no rules", badEngine{name: "ruleless"})
+	if n := len(engine.All()); n != 4 {
+		t.Errorf("failed registrations mutated the registry: %d engines", n)
+	}
+}

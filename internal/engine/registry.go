@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps engine names to registered engines. Registration happens
+// in the implementation packages' init functions, so any program that links
+// an engine package can resolve it by name; the listing order is sorted by
+// name so selection is deterministic regardless of package-init order.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Engine{}
+	names    []string // sorted engine names
+)
+
+// Register adds an engine under its Name. It panics on a duplicate name or
+// an engine with no supported fill rule — both are programming errors in the
+// registering package.
+func Register(e Engine) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := e.Name()
+	if name == "" {
+		panic("engine: Register with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate Register(%q)", name))
+	}
+	if e.Capabilities().Rules == 0 {
+		panic(fmt.Sprintf("engine: Register(%q) declares no fill rules", name))
+	}
+	registry[name] = e
+	names = append(names, name)
+	sort.Strings(names)
+}
+
+// Get returns the engine registered under name.
+func Get(name string) (Engine, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// MustGet is Get for names the caller knows are linked in; it panics when
+// the engine is missing.
+func MustGet(name string) Engine {
+	e, ok := Get(name)
+	if !ok {
+		panic(fmt.Sprintf("engine: %q is not registered (is its package imported?)", name))
+	}
+	return e
+}
+
+// All returns every registered engine, sorted by name.
+func All() []Engine {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Engine, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Select returns the first registered engine (by name order) satisfying the
+// predicate. It is the capability-driven selection primitive the resilience
+// chain and slab decomposition build on.
+func Select(pred func(Engine) bool) (Engine, bool) {
+	for _, e := range All() {
+		if pred(e) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// SlabHost returns the engine to run inside slab workers: prefer, when it is
+// registered and slab-hostable, otherwise the first slab-hostable engine.
+func SlabHost(prefer string) (Engine, bool) {
+	if e, ok := Get(prefer); ok && e.Capabilities().SlabHostable {
+		return e, true
+	}
+	return Select(func(e Engine) bool { return e.Capabilities().SlabHostable })
+}
+
+// SlabAlternate returns a slab-hostable engine different from name — the
+// registry-driven version of "retry the pair with the other sequential
+// engine".
+func SlabAlternate(name string) (Engine, bool) {
+	return Select(func(e Engine) bool {
+		return e.Name() != name && e.Capabilities().SlabHostable
+	})
+}
+
+// Reference returns the engine used as the differential cross-check oracle
+// against the named engine: a slab-hostable (sequential-capable) engine
+// supporting the rule, structurally different from the one under audit. The
+// sequential sweep ("vatti") is preferred when eligible.
+func Reference(against string, rule FillRule) (Engine, bool) {
+	if e, ok := Get("vatti"); ok && against != "vatti" && e.Capabilities().Rules.Has(rule) {
+		return e, true
+	}
+	return Select(func(e Engine) bool {
+		return e.Name() != against && e.Capabilities().SlabHostable && e.Capabilities().Rules.Has(rule)
+	})
+}

@@ -1,0 +1,27 @@
+package engine
+
+import "polyclip/internal/geom"
+
+// Trapezoid is one piece of the clipped region inside a single scanbeam:
+// the area between scanlines Y1 < Y2, bounded left and right by two
+// non-crossing edges. L1,R1 are the corners on the bottom scanline, L2,R2 on
+// the top; it degenerates to a triangle when two corners coincide.
+type Trapezoid struct {
+	L1, R1, L2, R2 geom.Point
+}
+
+// Ring returns the trapezoid boundary as a counter-clockwise ring.
+func (tz Trapezoid) Ring() geom.Ring {
+	r := geom.Ring{tz.L1}
+	for _, p := range []geom.Point{tz.R1, tz.R2, tz.L2} {
+		if p != r[len(r)-1] && p != r[0] {
+			r = append(r, p)
+		}
+	}
+	return r
+}
+
+// Area returns the trapezoid area.
+func (tz Trapezoid) Area() float64 {
+	return tz.Ring().Area()
+}

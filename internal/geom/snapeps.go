@@ -1,0 +1,31 @@
+package geom
+
+import "math"
+
+// AutoSnapEps picks the vertex-snapping grid for a clipping run over the two
+// operands: proportional to the data magnitude, and shared by every worker
+// of one run so seam geometry produced independently (e.g. by different slab
+// workers) quantizes identically. Previously re-derived separately by the
+// overlay engine and the slab decomposition; this is the one policy both
+// compose.
+func AutoSnapEps(a, b Polygon) float64 {
+	box := a.BBox().Union(b.BBox())
+	m := box.Width()
+	if h := box.Height(); h > m {
+		m = h
+	}
+	// The grid must also respect the absolute coordinate magnitude:
+	// float64 cannot address (and int64 cannot index) positions finer than
+	// a relative 1e-12 of the largest coordinate.
+	for _, v := range [...]float64{box.MinX, box.MaxX, box.MinY, box.MaxY} {
+		if a := math.Abs(v); a > m && !math.IsInf(a, 0) {
+			m = a
+		}
+	}
+	if m <= 0 {
+		m = 1
+	}
+	// Round the grid up to a power of two so quantizing binary-representable
+	// coordinates (integers, halves, ...) is exact and outputs stay clean.
+	return math.Pow(2, math.Ceil(math.Log2(m*RelEps)))
+}

@@ -2,35 +2,13 @@ package overlay
 
 import (
 	"context"
-	"slices"
 	"sort"
-	"sync"
 
 	"polyclip/internal/geom"
 	"polyclip/internal/par"
+	"polyclip/internal/scanbeam"
 	"polyclip/internal/segtree"
 )
-
-// beamXEntry positions a sub-segment on a beam midline.
-type beamXEntry struct {
-	x  float64
-	id int32
-}
-
-// classifyScratch recycles the per-beam ordering buffer of classifyBeam;
-// beams run in parallel, so each chunk draws its own from the pool.
-type classifyScratch struct {
-	order []beamXEntry
-}
-
-var classifyPool = sync.Pool{New: func() any { return new(classifyScratch) }}
-
-func (s *classifyScratch) ordered(n int) []beamXEntry {
-	if cap(s.order) < n {
-		s.order = make([]beamXEntry, n)
-	}
-	return s.order[:n]
-}
 
 // classify computes, for every unique sub-segment, whether the region on its
 // "left side" is inside the subject and inside the clip polygon. For a
@@ -79,8 +57,8 @@ func classify(ctx context.Context, segs []*useg, p int) {
 	})
 
 	par.ForEach(len(beams), p, func(blo, bhi int) {
-		scratch := classifyPool.Get().(*classifyScratch)
-		defer classifyPool.Put(scratch)
+		scratch := scanbeam.Get()
+		defer scanbeam.Put(scratch)
 		for b := blo; b < bhi; b++ {
 			if (b-blo)&63 == 0 && canceled(ctx) {
 				return
@@ -93,34 +71,25 @@ func classify(ctx context.Context, segs []*useg, p int) {
 }
 
 // classifyBeam runs Lemma 3's parity prefix sums over one scanbeam.
-func classifyBeam(segs []*useg, ys []float64, ids []int32, firstBeam []int, b int, scratch *classifyScratch) {
+func classifyBeam(segs []*useg, ys []float64, ids []int32, firstBeam []int, b int, scratch *scanbeam.Scratch) {
 	if len(ids) == 0 {
 		return
 	}
 	ymid := (ys[b] + ys[b+1]) / 2
-	order := scratch.ordered(len(ids))
+	order := scratch.Entries(len(ids))
 	for k, id := range ids {
 		s := segs[id]
-		order[k] = beamXEntry{geom.Segment{A: s.Lo, B: s.Hi}.XAtY(ymid), id}
+		order[k] = scanbeam.Entry{X: geom.Segment{A: s.Lo, B: s.Hi}.XAtY(ymid), ID: id}
 	}
-	slices.SortFunc(order, func(a, c beamXEntry) int {
-		switch {
-		case a.x < c.x:
-			return -1
-		case a.x > c.x:
-			return 1
-		default:
-			return 0
-		}
-	})
+	scanbeam.SortByX(order)
 
 	// Lemma 3 generalized: running winding numbers of subject / clip
 	// copies to the left (their parities are the paper's 0/1 prefix
 	// sums).
 	var windSub, windClip int16
 	for _, e := range order {
-		s := segs[e.id]
-		if firstBeam[e.id] == b && !s.classify {
+		s := segs[e.ID]
+		if firstBeam[e.ID] == b && !s.classify {
 			s.WindSubL = windSub
 			s.WindClipL = windClip
 			s.classify = true

@@ -1,0 +1,37 @@
+package overlay
+
+import (
+	"context"
+
+	"polyclip/internal/engine"
+	"polyclip/internal/geom"
+)
+
+// clipEngine adapts the overlay pipeline to the engine registry: the default
+// strategy, and the only one implementing the NonZero fill rule.
+type clipEngine struct{}
+
+func (clipEngine) Name() string { return "overlay" }
+
+func (clipEngine) Capabilities() engine.Capabilities {
+	return engine.Capabilities{
+		Rules:        engine.RuleMask(engine.EvenOdd, engine.NonZero),
+		Cancellable:  true,
+		Parallel:     true,
+		SlabHostable: true,
+	}
+}
+
+func (e clipEngine) Clip(ctx context.Context, a, b geom.Polygon, op engine.Op, opt engine.Options) (engine.Result, error) {
+	if err := engine.CheckRule(e, opt.Rule); err != nil {
+		return engine.Result{}, err
+	}
+	out, err := ClipCtx(ctx, a, b, op, Options{
+		Parallelism: opt.Threads,
+		Rule:        opt.Rule,
+		SnapEps:     opt.SnapEps,
+	})
+	return engine.Result{Polygon: out}, err
+}
+
+func init() { engine.Register(clipEngine{}) }

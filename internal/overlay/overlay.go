@@ -22,57 +22,25 @@ package overlay
 
 import (
 	"context"
-	"math"
 
 	"polyclip/internal/arrange"
+	"polyclip/internal/engine"
 	"polyclip/internal/geom"
 	"polyclip/internal/guard"
 	"polyclip/internal/isect"
 	"polyclip/internal/par"
 )
 
-// Op is a boolean clipping operation.
-type Op uint8
+// Op aliases the canonical operation type (see internal/engine).
+type Op = engine.Op
 
 // Supported clipping operations.
 const (
-	Intersection Op = iota // subject ∩ clip
-	Union                  // subject ∪ clip
-	Difference             // subject − clip
-	Xor                    // symmetric difference
+	Intersection = engine.Intersection // subject ∩ clip
+	Union        = engine.Union        // subject ∪ clip
+	Difference   = engine.Difference   // subject − clip
+	Xor          = engine.Xor          // symmetric difference
 )
-
-// String returns the operation name.
-func (op Op) String() string {
-	switch op {
-	case Intersection:
-		return "intersection"
-	case Union:
-		return "union"
-	case Difference:
-		return "difference"
-	case Xor:
-		return "xor"
-	default:
-		return "unknown"
-	}
-}
-
-// Eval applies the operation to the two insideness flags.
-func (op Op) Eval(inSubject, inClip bool) bool {
-	switch op {
-	case Intersection:
-		return inSubject && inClip
-	case Union:
-		return inSubject || inClip
-	case Difference:
-		return inSubject && !inClip
-	case Xor:
-		return inSubject != inClip
-	default:
-		return false
-	}
-}
 
 // Finder selects the intersection-finding strategy.
 type Finder uint8
@@ -85,26 +53,18 @@ const (
 	FinderBrute                  // O(n²); tests only
 )
 
-// FillRule decides which winding numbers count as interior.
-type FillRule uint8
+// FillRule aliases the canonical fill-rule type (see internal/engine).
+type FillRule = engine.FillRule
 
 // Supported fill rules.
 const (
 	// EvenOdd (default): a point is inside when its crossing parity is odd
 	// — the rule of GPC and of the paper's self-intersection handling.
-	EvenOdd FillRule = iota
+	EvenOdd = engine.EvenOdd
 	// NonZero: a point is inside when its winding number is nonzero — the
 	// rule of most vector graphics models.
-	NonZero
+	NonZero = engine.NonZero
 )
-
-// Inside applies the rule to a winding number.
-func (r FillRule) Inside(wind int16) bool {
-	if r == NonZero {
-		return wind != 0
-	}
-	return wind&1 != 0
-}
 
 // Options configures a clipping run.
 type Options struct {
@@ -147,7 +107,7 @@ func ClipCtx(ctx context.Context, subject, clip geom.Polygon, op Op, opt Options
 
 	eps := opt.SnapEps
 	if eps <= 0 {
-		eps = snapEpsFor(subject, clip)
+		eps = geom.AutoSnapEps(subject, clip)
 	}
 
 	// Fast paths: empty operands. Operands passed through are resolved so
@@ -305,31 +265,7 @@ func hasHorizontalEdge(poly geom.Polygon) bool {
 // SnapEpsFor returns the default vertex-snapping tolerance for a pair of
 // operands — exported so the hardened pipeline can retry a failed clip on
 // a deliberately coarser grid.
-func SnapEpsFor(a, b geom.Polygon) float64 { return snapEpsFor(a, b) }
-
-// snapEpsFor picks a vertex-snapping tolerance proportional to the data
-// magnitude.
-func snapEpsFor(a, b geom.Polygon) float64 {
-	box := a.BBox().Union(b.BBox())
-	m := box.Width()
-	if h := box.Height(); h > m {
-		m = h
-	}
-	// The grid must also respect the absolute coordinate magnitude:
-	// float64 cannot address (and int64 cannot index) positions finer than
-	// a relative 1e-12 of the largest coordinate.
-	for _, v := range [...]float64{box.MinX, box.MaxX, box.MinY, box.MaxY} {
-		if a := math.Abs(v); a > m && !math.IsInf(a, 0) {
-			m = a
-		}
-	}
-	if m <= 0 {
-		m = 1
-	}
-	// Round the grid up to a power of two so quantizing binary-representable
-	// coordinates (integers, halves, ...) is exact and outputs stay clean.
-	return math.Pow(2, math.Ceil(math.Log2(m*geom.RelEps)))
-}
+func SnapEpsFor(a, b geom.Polygon) float64 { return geom.AutoSnapEps(a, b) }
 
 // gatherEdges flattens both polygons into one edge list with an owner tag
 // per edge (0 = subject, 1 = clip).

@@ -1,0 +1,146 @@
+// Package scanbeam is the shared substrate of every scanbeam-sweep engine:
+// the per-beam edge-population buffers (pooled so parallel beam loops stay
+// allocation-free), the x-ordering of active edges on a beam line, the
+// Lemma 1/3 parity walk that emits op-selected trapezoids, and the
+// sequential bottom-to-top sweep schedule (CSR start buckets + active-list
+// compaction).
+//
+// Before this package existed the same machinery was re-implemented in
+// internal/vatti (sequential sweep), internal/core (parallel Algorithm 1
+// beams), internal/overlay (classification beams) and internal/bandclip
+// (boundary-end pairing). Each engine now composes these primitives instead.
+package scanbeam
+
+import (
+	"slices"
+	"sync"
+
+	"polyclip/internal/engine"
+	"polyclip/internal/geom"
+)
+
+// Entry is one edge (or chain end) positioned on a scanbeam line: its x
+// coordinate there, the caller's edge id, and an owner tag (subject/clip
+// polygon, or any other per-edge bit the walk needs).
+type Entry struct {
+	X     float64
+	ID    int32
+	Owner uint8
+}
+
+// Scratch is a reusable Entry buffer for per-beam ordering. The zero value
+// is ready to use; sequential sweeps keep one on the stack, parallel beam
+// loops draw pooled instances with Get/Put.
+type Scratch struct {
+	entries []Entry
+}
+
+// Entries returns a length-n entry slice backed by the scratch, growing the
+// backing array only when n exceeds every previous beam's population.
+func (s *Scratch) Entries(n int) []Entry {
+	if cap(s.entries) < n {
+		s.entries = make([]Entry, n)
+	}
+	return s.entries[:n]
+}
+
+// Grow returns a zero-length entry slice with capacity at least n, for
+// callers that append an unknown subset of candidates. Put the final slice
+// back with Keep so the capacity is retained.
+func (s *Scratch) Grow(n int) []Entry {
+	if cap(s.entries) < n {
+		s.entries = make([]Entry, 0, n)
+		return s.entries
+	}
+	return s.entries[:0]
+}
+
+// Keep stores a slice obtained from Grow back into the scratch after
+// appends may have reallocated it.
+func (s *Scratch) Keep(entries []Entry) { s.entries = entries }
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// Get draws a Scratch from the shared pool.
+func Get() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Put returns a Scratch to the shared pool.
+func Put(s *Scratch) { scratchPool.Put(s) }
+
+// SortByX orders entries by X, allocation-free. Ties keep their relative
+// order unspecified (equal-x entries compare equal), matching the sweep
+// engines' historical comparator.
+func SortByX(entries []Entry) {
+	slices.SortFunc(entries, func(a, b Entry) int {
+		switch {
+		case a.X < b.X:
+			return -1
+		case a.X > b.X:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// BeamTrapezoids orders the beam's active edges on the beam midline and
+// appends the op-selected trapezoids of the beam [yb, yt] to out — the
+// shared Step 3 of the sequential sweep and the parallel Algorithm 1: walk
+// left to right flipping per-polygon parity (Lemma 1/3) and emit one
+// trapezoid per maximal run where the operation holds. edge returns the
+// (upward-oriented) segment and owner tag of an id.
+func BeamTrapezoids(scratch *Scratch, ids []int32, yb, yt float64, op engine.Op,
+	edge func(int32) (geom.Segment, uint8), out *[]engine.Trapezoid) {
+	ymid := (yb + yt) / 2
+	order := scratch.Entries(len(ids))
+	for i, id := range ids {
+		seg, owner := edge(id)
+		order[i] = Entry{X: seg.XAtY(ymid), ID: id, Owner: owner}
+	}
+	SortByX(order)
+
+	var inSub, inClip, inOp bool
+	var left int32 = -1
+	for _, e := range order {
+		if e.Owner == 0 {
+			inSub = !inSub
+		} else {
+			inClip = !inClip
+		}
+		now := op.Eval(inSub, inClip)
+		if now && !inOp {
+			left = e.ID
+		} else if !now && inOp {
+			l, _ := edge(left)
+			r, _ := edge(e.ID)
+			tz := engine.Trapezoid{
+				L1: geom.Point{X: l.XAtY(yb), Y: yb},
+				R1: geom.Point{X: r.XAtY(yb), Y: yb},
+				L2: geom.Point{X: l.XAtY(yt), Y: yt},
+				R2: geom.Point{X: r.XAtY(yt), Y: yt},
+			}
+			ClampCorners(&tz)
+			*out = append(*out, tz)
+		}
+		inOp = now
+	}
+}
+
+// ClampCorners collapses an inverted corner pair — the left bound evaluating
+// right of the right bound on a beam boundary — to its common midpoint.
+// After arrangement resolution this can only come from weld roundoff, so the
+// inversion is at most a few ulps wide; collapsing it keeps the cap
+// intervals well-formed and, because the midpoint is an order-independent
+// function of the two x values, the adjacent beam (which sees the same two
+// edges in swapped order) computes the identical point and the shared caps
+// still cancel exactly.
+func ClampCorners(tz *engine.Trapezoid) {
+	if tz.L1.X > tz.R1.X {
+		m := (tz.L1.X + tz.R1.X) / 2
+		tz.L1.X, tz.R1.X = m, m
+	}
+	if tz.L2.X > tz.R2.X {
+		m := (tz.L2.X + tz.R2.X) / 2
+		tz.L2.X, tz.R2.X = m, m
+	}
+}

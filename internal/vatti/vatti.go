@@ -18,50 +18,30 @@ package vatti
 
 import (
 	"math"
-	"slices"
 	"sort"
 
 	"polyclip/internal/arrange"
+	"polyclip/internal/engine"
 	"polyclip/internal/geom"
-	"polyclip/internal/overlay"
 	"polyclip/internal/ringstitch"
+	"polyclip/internal/scanbeam"
 	"polyclip/internal/segtree"
 )
 
-// Op aliases the overlay operation set so both engines share one vocabulary.
-type Op = overlay.Op
+// Op aliases the canonical operation type so all engines share one
+// vocabulary (see internal/engine).
+type Op = engine.Op
 
 // Re-exported operations.
 const (
-	Intersection = overlay.Intersection
-	Union        = overlay.Union
-	Difference   = overlay.Difference
-	Xor          = overlay.Xor
+	Intersection = engine.Intersection
+	Union        = engine.Union
+	Difference   = engine.Difference
+	Xor          = engine.Xor
 )
 
-// Trapezoid is one piece of the clipped region inside a single scanbeam:
-// the area between scanlines Y1 < Y2, bounded left and right by two
-// non-crossing edges. L1,R1 are the corners on the bottom scanline, L2,R2 on
-// the top; it degenerates to a triangle when two corners coincide.
-type Trapezoid struct {
-	L1, R1, L2, R2 geom.Point
-}
-
-// Ring returns the trapezoid boundary as a counter-clockwise ring.
-func (tz Trapezoid) Ring() geom.Ring {
-	r := geom.Ring{tz.L1}
-	for _, p := range []geom.Point{tz.R1, tz.R2, tz.L2} {
-		if p != r[len(r)-1] && p != r[0] {
-			r = append(r, p)
-		}
-	}
-	return r
-}
-
-// Area returns the trapezoid area.
-func (tz Trapezoid) Area() float64 {
-	return tz.Ring().Area()
-}
+// Trapezoid aliases the canonical scanbeam-piece type (see internal/engine).
+type Trapezoid = engine.Trapezoid
 
 // activeEdge is an edge of the input in the active edge list.
 type activeEdge struct {
@@ -112,140 +92,23 @@ func Trapezoids(subject, clip geom.Polygon, op Op) []Trapezoid {
 		return nil
 	}
 
-	// Sweep: per-beam active edge set maintained from per-boundary start
-	// and end buckets (the minima/maxima tables of Vatti's sweep). The
-	// buckets are built in compressed (CSR) form — a counting pass, a prefix
-	// sum and a fill — so the schedule costs three flat allocations instead
-	// of one slice per boundary.
-	m := len(ys) - 1
-	startAt := make([]int32, len(edges))
-	endAt := make([]int32, len(edges))
-	startOff := make([]int32, m+2)
-	for i, ae := range edges {
-		s := int32(sort.SearchFloat64s(ys, ae.seg.A.Y))
-		startAt[i] = s
-		endAt[i] = int32(sort.SearchFloat64s(ys, ae.seg.B.Y))
-		startOff[s+1]++
+	// Sweep schedule and per-beam parity walk both come from the shared
+	// scanbeam substrate; the sweep is sequential, so one stack scratch
+	// serves every beam with zero steady-state allocation.
+	sweep := scanbeam.NewSweep(ys, len(edges), func(i int32) (float64, float64) {
+		return edges[i].seg.A.Y, edges[i].seg.B.Y
+	})
+	edgeAt := func(id int32) (geom.Segment, uint8) {
+		return edges[id].seg, edges[id].owner
 	}
-	for b := 1; b < len(startOff); b++ {
-		startOff[b] += startOff[b-1]
-	}
-	startIDs := make([]int32, len(edges))
-	fill := make([]int32, m+1)
-	for i := range edges {
-		s := startAt[i]
-		startIDs[startOff[s]+fill[s]] = int32(i)
-		fill[s]++
-	}
-
-	// Active edge list: a compact id slice, each id inserted once at its
-	// start boundary and swept out by one linear compaction per beam once
-	// its end boundary is reached — the same per-beam cost as iterating a
-	// hash set, without the hashing or the iteration-order churn.
-	active := make([]int32, 0, 64)
-	var scratch beamScratch
+	var scratch scanbeam.Scratch
 	var tzs []Trapezoid
-	for b := 0; b < m; b++ {
-		active = append(active, startIDs[startOff[b]:startOff[b+1]]...)
-		w := 0
-		for _, id := range active {
-			if endAt[id] > int32(b) {
-				active[w] = id
-				w++
-			}
-		}
-		active = active[:w]
+	sweep.ForEachBeam(func(_ int, yb, yt float64, active []int32) {
 		if len(active) >= 2 {
-			beamTrapezoids(edges, active, ys[b], ys[b+1], op, &scratch, &tzs)
-		}
-	}
-	return tzs
-}
-
-// beamEntry is one active edge positioned on a beam's midline.
-type beamEntry struct {
-	xm    float64
-	id    int32
-	owner uint8
-}
-
-// beamScratch is the per-sweep reusable ordering buffer; the sweep is
-// sequential, so one instance serves every beam with zero steady-state
-// allocation.
-type beamScratch struct {
-	order []beamEntry
-}
-
-func (s *beamScratch) ordered(n int) []beamEntry {
-	if cap(s.order) < n {
-		s.order = make([]beamEntry, n)
-	}
-	return s.order[:n]
-}
-
-// beamTrapezoids emits the op-selected trapezoids of one scanbeam.
-func beamTrapezoids(edges []activeEdge, ids []int32, yb, yt float64, op Op, scratch *beamScratch, out *[]Trapezoid) {
-	ymid := (yb + yt) / 2
-	order := scratch.ordered(len(ids))
-	for i, id := range ids {
-		order[i] = beamEntry{edges[id].seg.XAtY(ymid), id, edges[id].owner}
-	}
-	slices.SortFunc(order, func(a, b beamEntry) int {
-		switch {
-		case a.xm < b.xm:
-			return -1
-		case a.xm > b.xm:
-			return 1
-		default:
-			return 0
+			scanbeam.BeamTrapezoids(&scratch, active, yb, yt, op, edgeAt, &tzs)
 		}
 	})
-
-	// Lemma 1/3: walk left to right flipping per-polygon parity; emit a
-	// trapezoid for every maximal run where the operation holds.
-	var inSub, inClip, inOp bool
-	var left int32 = -1
-	for _, e := range order {
-		if e.owner == 0 {
-			inSub = !inSub
-		} else {
-			inClip = !inClip
-		}
-		now := op.Eval(inSub, inClip)
-		if now && !inOp {
-			left = e.id
-		} else if !now && inOp {
-			l, r := edges[left].seg, edges[e.id].seg
-			tz := Trapezoid{
-				L1: geom.Point{X: l.XAtY(yb), Y: yb},
-				R1: geom.Point{X: r.XAtY(yb), Y: yb},
-				L2: geom.Point{X: l.XAtY(yt), Y: yt},
-				R2: geom.Point{X: r.XAtY(yt), Y: yt},
-			}
-			ClampCorners(&tz)
-			*out = append(*out, tz)
-		}
-		inOp = now
-	}
-}
-
-// ClampCorners collapses an inverted corner pair — the left bound evaluating
-// right of the right bound on a beam boundary — to its common midpoint.
-// After arrangement resolution this can only come from weld roundoff, so the
-// inversion is at most a few ulps wide; collapsing it keeps the cap
-// intervals well-formed and, because the midpoint is an order-independent
-// function of the two x values, the adjacent beam (which sees the same two
-// edges in swapped order) computes the identical point and the shared caps
-// still cancel exactly.
-func ClampCorners(tz *Trapezoid) {
-	if tz.L1.X > tz.R1.X {
-		m := (tz.L1.X + tz.R1.X) / 2
-		tz.L1.X, tz.R1.X = m, m
-	}
-	if tz.L2.X > tz.R2.X {
-		m := (tz.L2.X + tz.R2.X) / 2
-		tz.L2.X, tz.R2.X = m, m
-	}
+	return tzs
 }
 
 // Assemble merges a trapezoid decomposition into polygons: the shared

@@ -31,9 +31,9 @@ import (
 	"context"
 
 	"polyclip/internal/core"
+	"polyclip/internal/engine"
 	"polyclip/internal/geojson"
 	"polyclip/internal/geom"
-	"polyclip/internal/overlay"
 	"polyclip/internal/vatti"
 	"polyclip/internal/wkt"
 )
@@ -52,18 +52,18 @@ type (
 	// Layer is a set of polygon features (a GIS layer).
 	Layer = core.Layer
 	// Trapezoid is one scanbeam-bounded piece of a clipped region.
-	Trapezoid = vatti.Trapezoid
+	Trapezoid = engine.Trapezoid
 )
 
-// Op is a boolean clipping operation.
-type Op = overlay.Op
+// Op is a boolean clipping operation (canonical type: internal/engine).
+type Op = engine.Op
 
 // Supported operations.
 const (
-	Intersection = overlay.Intersection
-	Union        = overlay.Union
-	Difference   = overlay.Difference
-	Xor          = overlay.Xor
+	Intersection = engine.Intersection
+	Union        = engine.Union
+	Difference   = engine.Difference
+	Xor          = engine.Xor
 )
 
 // Algorithm selects the execution strategy.
@@ -84,18 +84,23 @@ const (
 	AlgoSequential
 )
 
-// FillRule re-exports the overlay engine's fill rules.
-type FillRule = overlay.FillRule
+// FillRule decides which winding numbers count as interior (canonical type:
+// internal/engine).
+type FillRule = engine.FillRule
 
 // Supported fill rules.
 const (
 	// EvenOdd (default): inside = odd crossing parity, as in GPC and the
 	// paper.
-	EvenOdd = overlay.EvenOdd
+	EvenOdd = engine.EvenOdd
 	// NonZero: inside = nonzero winding number (vector-graphics rule).
-	// Supported by AlgoOverlay; requesting it forces that strategy.
-	NonZero = overlay.NonZero
+	// Implemented by the overlay engine only — see Options.Rule.
+	NonZero = engine.NonZero
 )
+
+// ErrUnsupported tags a rule/algorithm combination no registered engine can
+// serve — e.g. Rule: NonZero with Algorithm: AlgoSlabs. Test with errors.Is.
+var ErrUnsupported = engine.ErrUnsupported
 
 // Options configures ClipWith and the hardened Ctx entry points.
 type Options struct {
@@ -103,8 +108,10 @@ type Options struct {
 	Algorithm Algorithm
 	// Threads bounds the parallelism; <= 0 means all available CPUs.
 	Threads int
-	// Rule is the fill rule; NonZero is only implemented by AlgoOverlay and
-	// overrides the Algorithm selection.
+	// Rule is the fill rule. NonZero is only implemented by the overlay
+	// engine: requesting it with the default AlgoOverlay works, while
+	// combining it with any other Algorithm returns an error wrapping
+	// ErrUnsupported (earlier versions silently swapped the strategy).
 	Rule FillRule
 	// Slabs is the slab count for AlgoSlabs and the layer overlay; 0 means
 	// one per thread.
@@ -115,8 +122,10 @@ type Options struct {
 	NoFallback bool
 }
 
-// Stats re-exports the slab-algorithm phase timings.
-type Stats = core.Stats
+// Stats reports phase timings, the engine that produced the accepted result
+// (Stats.Engine), and the resilience record (canonical type:
+// internal/engine).
+type Stats = engine.Stats
 
 // Clip computes `subject op clip` with the default strategy on all CPUs.
 // It never returns an error: invalid inputs yield an empty result and

@@ -1,6 +1,8 @@
 package polyclip
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -122,13 +124,37 @@ func TestNonZeroRulePublicAPI(t *testing.T) {
 		Ring{{X: 2, Y: 2}, {X: 6, Y: 2}, {X: 6, Y: 6}, {X: 2, Y: 6}},
 	}
 	frame := rect(-1, -1, 7, 7)
-	nz, _ := ClipWith(p, frame, Intersection, Options{Rule: NonZero, Algorithm: AlgoSlabs})
+	nz, st := ClipWith(p, frame, Intersection, Options{Rule: NonZero})
 	if math.Abs(Area(nz)-28) > 1e-6 {
 		t.Errorf("nonzero area = %v, want 28", Area(nz))
+	}
+	if st.Engine != "overlay" {
+		t.Errorf("nonzero clip ran engine %q, want overlay", st.Engine)
 	}
 	eo, _ := ClipWith(p, frame, Intersection, Options{})
 	if math.Abs(Area(eo)-24) > 1e-6 {
 		t.Errorf("even-odd area = %v, want 24", Area(eo))
+	}
+}
+
+func TestNonZeroUnsupportedAlgorithmPublicAPI(t *testing.T) {
+	// NonZero is only implemented by the overlay engine: combining it with a
+	// strategy whose primary engine cannot serve it is a typed error, not a
+	// silent strategy swap.
+	p := Polygon{Ring{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}}}
+	frame := rect(-1, -1, 7, 7)
+	for _, algo := range []Algorithm{AlgoSlabs, AlgoScanbeam, AlgoSequential} {
+		out, _, err := ClipCtx(context.Background(), p, frame, Intersection, Options{Rule: NonZero, Algorithm: algo})
+		if !errors.Is(err, ErrUnsupported) {
+			t.Errorf("algo=%d: err = %v, want ErrUnsupported", algo, err)
+		}
+		var ce *ClipError
+		if !errors.As(err, &ce) {
+			t.Errorf("algo=%d: err is not a *ClipError", algo)
+		}
+		if out != nil {
+			t.Errorf("algo=%d: got non-nil result with error", algo)
+		}
 	}
 }
 

@@ -6,11 +6,10 @@ import (
 	"fmt"
 
 	"polyclip/internal/core"
+	"polyclip/internal/engine"
 	"polyclip/internal/geom"
 	"polyclip/internal/guard"
-	"polyclip/internal/overlay"
 	"polyclip/internal/par"
-	"polyclip/internal/vatti"
 )
 
 // ClipError is the structured error surfaced when a clipping worker panics:
@@ -28,10 +27,55 @@ var ErrInvalidInput = guard.ErrInvalidInput
 // near-degenerate incidences that defeat the default grid.
 const coarseFactor = 1024
 
-// attempt is one engine try of the differential-fallback chain.
+// attempt is one engine try of the differential-fallback chain, resolved
+// from a chainStep against the engine registry.
 type attempt struct {
-	name string
-	run  func(ctx context.Context) (Polygon, *Stats, error)
+	name   string // attempt label recorded in Stats.Resilience.Attempts
+	engine string // registry name of the engine behind the attempt
+	run    func(ctx context.Context) (Polygon, *Stats, error)
+}
+
+// chainStep is one declarative entry of the differential-fallback chain: a
+// registry engine name plus the flags that shape its run.
+type chainStep struct {
+	name    string // attempt label
+	engine  string // registry engine name
+	coarse  bool   // run on the coarseFactor-coarser snap grid
+	seq     bool   // force single-threaded execution
+	altOnly bool   // include only when capability filtering dropped a step
+}
+
+// chains maps each Algorithm to its fallback chain: the requested engine
+// first, then the same arrangement on a coarser snap grid, then a
+// structurally different engine. Steps whose engine does not implement the
+// requested fill rule are dropped — except the primary step, whose
+// unsupported rule is a typed error (ErrUnsupported) rather than a silent
+// strategy swap — and altOnly steps fill back in when filtering dropped a
+// later step, keeping the chain three attempts deep.
+var chains = map[Algorithm][]chainStep{
+	AlgoOverlay: {
+		{name: "overlay", engine: "overlay"},
+		{name: "overlay-coarse", engine: "overlay", coarse: true},
+		{name: "vatti", engine: "vatti"},
+		{name: "overlay-seq", engine: "overlay", seq: true, altOnly: true},
+	},
+	AlgoSlabs: {
+		{name: "slabs", engine: "slabs"},
+		{name: "overlay-coarse", engine: "overlay", coarse: true},
+		{name: "vatti", engine: "vatti"},
+		{name: "overlay-seq", engine: "overlay", seq: true, altOnly: true},
+	},
+	AlgoScanbeam: {
+		{name: "scanbeam", engine: "scanbeam"},
+		{name: "overlay-coarse", engine: "overlay", coarse: true},
+		{name: "vatti", engine: "vatti"},
+		{name: "overlay-seq", engine: "overlay", seq: true, altOnly: true},
+	},
+	AlgoSequential: {
+		{name: "vatti", engine: "vatti"},
+		{name: "overlay", engine: "overlay"},
+		{name: "overlay-coarse", engine: "overlay", coarse: true},
+	},
 }
 
 // ClipCtx computes `subject op clip` through the hardened pipeline:
@@ -82,7 +126,10 @@ func ClipCtx(ctx context.Context, subject, clip Polygon, op Op, opt Options) (Po
 	// measure (a bowtie sums to ~0), which made the audit reject correct
 	// results and drag every such clip through the fallback chain.
 	areaS, areaC := guard.MeasureBound(subject), guard.MeasureBound(clip)
-	chain := attemptChain(subject, clip, op, opt)
+	chain, cerr := attemptChain(subject, clip, op, opt)
+	if cerr != nil {
+		return nil, fin(nil), cerr
+	}
 	if opt.NoFallback {
 		chain = chain[:1]
 	}
@@ -114,6 +161,12 @@ func ClipCtx(ctx context.Context, subject, clip Polygon, op Op, opt Options) (Po
 			continue
 		}
 		out = guard.HitPoly("polyclip.result", out)
+		accept := func(outcome string) (Polygon, *Stats, error) {
+			res.Attempts = append(res.Attempts, at.name+":"+outcome)
+			sf := fin(st)
+			sf.Engine = at.engine
+			return out, sf, nil
+		}
 		if aerr := guard.Audit(out, areaS, areaC, guard.OpKind(op)); aerr != nil {
 			res.InvariantFailures++
 			// The heuristic bound cannot distinguish a damaged result from a
@@ -122,26 +175,23 @@ func ClipCtx(ctx context.Context, subject, clip Polygon, op Op, opt Options) (Po
 			// recompute the measure with a structurally different engine and
 			// accept on agreement (cross-engine concordance is the strongest
 			// evidence available without a ground truth).
-			if !opt.NoFallback && opt.Rule != NonZero {
-				if refArea, ok := crossCheckArea(ctx, subject, clip, op, at.name); ok &&
+			if !opt.NoFallback {
+				if refArea, ok := crossCheckArea(ctx, subject, clip, op, at.engine, opt.Rule); ok &&
 					guard.AuditDifferential(out, refArea, areaS+areaC) == nil {
-					res.Attempts = append(res.Attempts, at.name+":differential-ok")
-					return out, fin(st), nil
+					return accept("differential-ok")
 				}
 			}
 			if i == len(chain)-1 {
 				// Every engine agrees (or at least fails the same heuristic
 				// bound): the audit is inconclusive, not the result wrong —
 				// self-intersecting inputs can defeat the area estimate.
-				res.Attempts = append(res.Attempts, at.name+":audit-inconclusive")
-				return out, fin(st), nil
+				return accept("audit-inconclusive")
 			}
 			res.Attempts = append(res.Attempts, at.name+":audit-fail")
 			lastErr = aerr
 			continue
 		}
-		res.Attempts = append(res.Attempts, at.name+":ok")
-		return out, fin(st), nil
+		return accept("ok")
 	}
 	return nil, fin(st), lastErr
 }
@@ -161,28 +211,27 @@ func failureKind(err error) string {
 	return "panic"
 }
 
-// crossCheckArea computes the even-odd measure of `subject op clip` with an
-// engine structurally different from the attempt under audit: the sequential
-// Vatti sweep normally, the single-threaded overlay arrangement when the
-// failing attempt was Vatti itself. Panic-isolated; ok is false when the
-// reference engine fails too, leaving the caller to the heuristic verdict.
-func crossCheckArea(ctx context.Context, subject, clip Polygon, op Op, attemptName string) (area float64, ok bool) {
+// crossCheckArea computes the measure of `subject op clip` with an engine
+// structurally different from the attempt under audit, chosen by the
+// registry's Reference selection (the sequential Vatti sweep when eligible,
+// otherwise any other slab-hostable engine implementing the rule).
+// Panic-isolated; ok is false when no reference engine exists for the rule or
+// the reference fails too, leaving the caller to the heuristic verdict.
+func crossCheckArea(ctx context.Context, subject, clip Polygon, op Op, attemptEngine string, rule FillRule) (area float64, ok bool) {
 	defer func() {
 		if recover() != nil {
 			area, ok = 0, false
 		}
 	}()
-	var ref Polygon
-	if attemptName == "vatti" {
-		out, err := overlay.ClipCtx(ctx, subject, clip, op, overlay.Options{Parallelism: 1})
-		if err != nil {
-			return 0, false
-		}
-		ref = out
-	} else {
-		ref = vatti.Clip(subject, clip, op)
+	ref, found := engine.Reference(attemptEngine, rule)
+	if !found {
+		return 0, false
 	}
-	return ref.Area(), true
+	res, err := ref.Clip(ctx, subject, clip, op, engine.Options{Threads: 1, Rule: rule})
+	if err != nil {
+		return 0, false
+	}
+	return res.Polygon.Area(), true
 }
 
 // runAttempt runs one engine attempt with panic isolation.
@@ -196,55 +245,48 @@ func runAttempt(ctx context.Context, at attempt) (out Polygon, st *Stats, err er
 	return at.run(ctx)
 }
 
-// attemptChain builds the differential-fallback chain for the selected
-// strategy: the requested engine first, then the same arrangement on a
-// coarser snap grid, then a structurally different engine.
-func attemptChain(subject, clip Polygon, op Op, opt Options) []attempt {
-	coarse := overlay.SnapEpsFor(subject, clip) * coarseFactor
-	ov := func(name string, oopt overlay.Options) attempt {
-		return attempt{name, func(ctx context.Context) (Polygon, *Stats, error) {
-			out, err := overlay.ClipCtx(ctx, subject, clip, op, oopt)
-			return out, nil, err
-		}}
+// attemptChain resolves the Algorithm's declarative chain against the engine
+// registry, filtering steps by fill-rule capability. A primary step whose
+// engine does not implement the requested rule is a typed *ClipError wrapping
+// ErrUnsupported — the registry never silently swaps strategies.
+func attemptChain(subject, clip Polygon, op Op, opt Options) ([]attempt, error) {
+	steps, ok := chains[opt.Algorithm]
+	if !ok {
+		steps = chains[AlgoOverlay]
 	}
-	vt := attempt{"vatti", func(ctx context.Context) (Polygon, *Stats, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
+	coarse := geom.AutoSnapEps(subject, clip) * coarseFactor
+	var out []attempt
+	dropped := false
+	for i, stp := range steps {
+		e := engine.MustGet(stp.engine)
+		if !e.Capabilities().Rules.Has(opt.Rule) {
+			if i == 0 {
+				err := &engine.UnsupportedError{Engine: stp.engine, Rule: opt.Rule}
+				return nil, &guard.ClipError{Stage: "select", Slab: -1, Pair: guard.NoPair, Value: err, Err: err}
+			}
+			dropped = true
+			continue
 		}
-		return vatti.Clip(subject, clip, op), nil, nil
-	}}
-
-	if opt.Rule == NonZero {
-		// Only the overlay engine understands NonZero: vary grid and
-		// parallelism instead of the engine.
-		return []attempt{
-			ov("overlay", overlay.Options{Parallelism: opt.Threads, Rule: NonZero}),
-			ov("overlay-coarse", overlay.Options{Parallelism: opt.Threads, Rule: NonZero, SnapEps: coarse}),
-			ov("overlay-seq", overlay.Options{Parallelism: 1, Rule: NonZero}),
+		if stp.altOnly && !dropped {
+			continue
 		}
+		eopt := engine.Options{
+			Threads: opt.Threads, Slabs: opt.Slabs,
+			Rule: opt.Rule, NoFallback: opt.NoFallback,
+		}
+		if stp.seq {
+			eopt.Threads = 1
+		}
+		if stp.coarse {
+			eopt.SnapEps = coarse
+		}
+		run := func(ctx context.Context) (Polygon, *Stats, error) {
+			res, err := e.Clip(ctx, subject, clip, op, eopt)
+			return res.Polygon, res.Stats, err
+		}
+		out = append(out, attempt{name: stp.name, engine: stp.engine, run: run})
 	}
-
-	ovDefault := ov("overlay", overlay.Options{Parallelism: opt.Threads})
-	ovCoarse := ov("overlay-coarse", overlay.Options{Parallelism: opt.Threads, SnapEps: coarse})
-	switch opt.Algorithm {
-	case AlgoSlabs:
-		slabs := attempt{"slabs", func(ctx context.Context) (Polygon, *Stats, error) {
-			return core.ClipPairCtx(ctx, subject, clip, op, core.Options{
-				Threads: opt.Threads, Slabs: opt.Slabs, NoFallback: opt.NoFallback,
-			})
-		}}
-		return []attempt{slabs, ovCoarse, vt}
-	case AlgoScanbeam:
-		scan := attempt{"scanbeam", func(ctx context.Context) (Polygon, *Stats, error) {
-			out, _ := core.AlgorithmOneCtx(ctx, subject, clip, op, opt.Threads)
-			return out, nil, ctx.Err()
-		}}
-		return []attempt{scan, ovCoarse, vt}
-	case AlgoSequential:
-		return []attempt{vt, ovDefault, ovCoarse}
-	default:
-		return []attempt{ovDefault, ovCoarse, vt}
-	}
+	return out, nil
 }
 
 // repairLayer validates and repairs every feature of a layer.

@@ -18,9 +18,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== coverage floor (internal/vatti, internal/arrange >= ${COVER_FLOOR:-80}%)"
+echo "== coverage floor (vatti, arrange, engine, scanbeam >= ${COVER_FLOOR:-80}%)"
 COVER_FLOOR="${COVER_FLOOR:-80}"
-for pkg in ./internal/vatti/ ./internal/arrange/; do
+for pkg in ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/; do
 	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
 	if [ -z "$pct" ]; then
 		echo "could not parse coverage for $pkg" >&2
@@ -45,10 +45,13 @@ go test -race ./...
 echo "== differential corpus under -race"
 go test -race -run TestDifferentialCorpus .
 
+echo "== engine conformance suite under -race"
+go test -race -run TestConformance ./internal/engine/
+
 echo "== bench smoke (one iteration, alloc counters live)"
 go test -run='^$' -bench=. -benchtime=1x -benchmem . > /dev/null
 
-for t in FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip; do
+for t in FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip FuzzClipAllEngines; do
 	echo "== fuzz $t ($FUZZTIME)"
 	go test -run='^$' -fuzz="^$t\$" -fuzztime="$FUZZTIME" .
 done
