@@ -3,12 +3,12 @@ FUZZ_TARGETS := FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip FuzzClipAllEngin
 CHAOS_SEED ?= 1
 CHAOS_CASES ?= 200
 COVER_FLOOR ?= 80
-COVER_PKGS := ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/
+COVER_PKGS := ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/
 
 PROFILE_EXP ?= table2
 PROFILE_DIR ?= /tmp/polyclip-prof
 
-.PHONY: check build vet test cover race differential conformance fuzz chaos profile
+.PHONY: check build vet test cover race differential conformance fuzz chaos profile clipd loadtest
 
 check: vet build test cover race differential conformance fuzz chaos
 
@@ -47,12 +47,15 @@ conformance:
 	go test -race -run TestConformance ./internal/engine/
 
 # Each native fuzz target gets a short smoke run; raise FUZZTIME for real
-# fuzzing sessions (e.g. make fuzz FUZZTIME=10m).
+# fuzzing sessions (e.g. make fuzz FUZZTIME=10m). FuzzServeRequest lives in
+# internal/serve and fuzzes the whole HTTP serving path.
 fuzz:
 	@for t in $(FUZZ_TARGETS); do \
 		echo "fuzz $$t ($(FUZZTIME))"; \
 		go test -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) . || exit 1; \
 	done
+	@echo "fuzz FuzzServeRequest ($(FUZZTIME))"
+	go test -run='^$$' -fuzz='^FuzzServeRequest$$' -fuzztime=$(FUZZTIME) ./internal/serve/
 
 # CPU and heap profiles of one bench experiment (default table2, the
 # scanbeam hot path). Inspect with `go tool pprof $(PROFILE_DIR)/cpu.prof`.
@@ -69,3 +72,14 @@ chaos:
 	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases $(CHAOS_CASES)
 	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases $(CHAOS_CASES) -faults
 	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases 60 -faults -budget 500ms
+
+# Build the serving daemon.
+clipd:
+	go build -o bin/clipd ./cmd/clipd
+	go build -o bin/clipload ./cmd/clipload
+	@echo "built bin/clipd and bin/clipload"
+
+# Reproduce BENCH_clipd.json: clipd under open-loop load at two rates,
+# a misbehaving-client phase, and a fault-injection (chaos-mode) phase.
+loadtest: clipd
+	sh scripts/bench_clipd.sh

@@ -5,44 +5,48 @@ import "time"
 // Stats reports where the time went, for the paper's figures, plus the
 // resilience record of the hardened pipeline. It is the engine-facing half
 // of the public Stats type: internal/core and the root package alias it.
+//
+// The JSON tags are a stable serialization contract (lower-camel names,
+// durations as nanosecond integers) relied on by the clipd service and the
+// BENCH_clipd.json artifacts; renaming a tag is a breaking change.
 type Stats struct {
 	// Engine is the registry name of the engine that produced the accepted
 	// result, recorded by the resilience chain.
-	Engine    string
-	Slabs     int             // number of slabs actually used
-	Sort      time.Duration   // Step 1–2: event sort
-	Partition time.Duration   // Steps 4–5: rectangle clipping into slabs
-	Clip      time.Duration   // Step 6: per-slab clipping (wall clock)
-	Merge     time.Duration   // Step 8: merging partial outputs
-	PerThread []time.Duration // per-slab clip time (Fig. 11 load balance)
+	Engine    string          `json:"engine,omitempty"`
+	Slabs     int             `json:"slabs"`                 // number of slabs actually used
+	Sort      time.Duration   `json:"sortNs"`                // Step 1–2: event sort
+	Partition time.Duration   `json:"partitionNs"`           // Steps 4–5: rectangle clipping into slabs
+	Clip      time.Duration   `json:"clipNs"`                // Step 6: per-slab clipping (wall clock)
+	Merge     time.Duration   `json:"mergeNs"`               // Step 8: merging partial outputs
+	PerThread []time.Duration `json:"perThreadNs,omitempty"` // per-slab clip time (Fig. 11 load balance)
 	// Resilience records what the hardened clipping path did: input repair,
 	// the engine attempts and their outcomes, and recovered worker panics.
-	Resilience Resilience
+	Resilience Resilience `json:"resilience"`
 }
 
 // Resilience is the record of the hardened pipeline's interventions for one
-// clipping run.
+// clipping run. Its JSON tags share the Stats serialization contract.
 type Resilience struct {
 	// Repaired reports that guard.Repair modified an input (duplicate
 	// vertices, spikes, or degenerate rings removed).
-	Repaired bool
+	Repaired bool `json:"repaired"`
 	// Attempts lists every engine attempt as "name:outcome", in order —
 	// e.g. ["slabs:panic", "overlay-coarse:audit-fail", "vatti:ok"].
-	Attempts []string
+	Attempts []string `json:"attempts,omitempty"`
 	// Recovered counts worker panics (or abandoned stages) that were rescued
 	// — by a stage retry or a fallback engine — without surfacing an error.
-	Recovered int
+	Recovered int `json:"recovered"`
 	// StageTimeouts counts pipeline stages abandoned by their watchdog
 	// because the stage's share of the deadline expired before every worker
 	// finished.
-	StageTimeouts int
+	StageTimeouts int `json:"stageTimeouts"`
 	// Retries counts stage-level retry attempts: a timed-out or panicked
 	// stage is re-run once, sequentially, on fresh buffers.
-	Retries int
+	Retries int `json:"retries"`
 	// InvariantFailures counts failed result-invariant checks: audit
 	// rejections in the differential-fallback chain and metamorphic
 	// invariant violations found by the chaos harness.
-	InvariantFailures int
+	InvariantFailures int `json:"invariantFailures"`
 }
 
 // Merge accumulates another record's counters into r (the Attempts list is

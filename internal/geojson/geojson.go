@@ -6,10 +6,53 @@ package geojson
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"polyclip/internal/geom"
 )
+
+// ParseError reports a GeoJSON parse failure with position context: the
+// byte offset into the document when the underlying JSON decoder knows it
+// (-1 otherwise) and the offending JSON value or field when attributable.
+// Callers serving parse errors to clients — the clipd 400 bodies — retrieve
+// it with errors.As to echo the position back.
+type ParseError struct {
+	Offset int64  // byte offset into the document, -1 when unknown
+	Token  string // offending JSON value/field, "" when unknown
+	Msg    string // what the decoder rejected
+}
+
+// Error formats the failure with whatever position context is known.
+func (e *ParseError) Error() string {
+	s := "geojson: " + e.Msg
+	if e.Offset >= 0 {
+		s += fmt.Sprintf(" at byte %d", e.Offset)
+	}
+	if e.Token != "" {
+		s += fmt.Sprintf(" near %q", e.Token)
+	}
+	return s
+}
+
+// wrapJSON converts an encoding/json decode error into a *ParseError,
+// pulling the byte offset out of the decoder's typed errors.
+func wrapJSON(err error) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return &ParseError{Offset: syn.Offset, Msg: syn.Error()}
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		tok := typ.Field
+		if tok == "" {
+			tok = typ.Value
+		}
+		return &ParseError{Offset: typ.Offset, Token: tok,
+			Msg: fmt.Sprintf("cannot decode %s into %s", typ.Value, typ.Type)}
+	}
+	return &ParseError{Offset: -1, Msg: err.Error()}
+}
 
 // geometry is the wire form of a GeoJSON geometry object.
 type geometry struct {
@@ -75,26 +118,26 @@ func Unmarshal(data []byte) (geom.Polygon, error) {
 		Type string `json:"type"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return nil, fmt.Errorf("geojson: %w", err)
+		return nil, wrapJSON(err)
 	}
 	switch probe.Type {
 	case "Polygon", "MultiPolygon":
 		var g geometry
 		if err := json.Unmarshal(data, &g); err != nil {
-			return nil, fmt.Errorf("geojson: %w", err)
+			return nil, wrapJSON(err)
 		}
 		return geometryToPolygon(&g)
 	case "Feature":
 		var f feature
 		if err := json.Unmarshal(data, &f); err != nil {
-			return nil, fmt.Errorf("geojson: %w", err)
+			return nil, wrapJSON(err)
 		}
 		if f.Geometry == nil {
 			return nil, nil
 		}
 		return geometryToPolygon(f.Geometry)
 	default:
-		return nil, fmt.Errorf("geojson: unsupported type %q", probe.Type)
+		return nil, &ParseError{Offset: -1, Token: probe.Type, Msg: "unsupported type"}
 	}
 }
 
@@ -102,10 +145,10 @@ func Unmarshal(data []byte) (geom.Polygon, error) {
 func UnmarshalLayer(data []byte) ([]geom.Polygon, error) {
 	var fc featureCollection
 	if err := json.Unmarshal(data, &fc); err != nil {
-		return nil, fmt.Errorf("geojson: %w", err)
+		return nil, wrapJSON(err)
 	}
 	if fc.Type != "FeatureCollection" {
-		return nil, fmt.Errorf("geojson: expected FeatureCollection, got %q", fc.Type)
+		return nil, &ParseError{Offset: -1, Token: fc.Type, Msg: "expected FeatureCollection"}
 	}
 	var out []geom.Polygon
 	for i, f := range fc.Features {
@@ -126,28 +169,28 @@ func geometryToPolygon(g *geometry) (geom.Polygon, error) {
 	case "Polygon":
 		var coords [][][2]float64
 		if err := json.Unmarshal(g.Coordinates, &coords); err != nil {
-			return nil, err
+			return nil, &ParseError{Offset: -1, Token: "coordinates", Msg: "malformed Polygon coordinates: " + err.Error()}
 		}
 		out := coordsToRings(coords)
 		if err := out.Validate(); err != nil {
-			return nil, fmt.Errorf("geojson: %v", err)
+			return nil, &ParseError{Offset: -1, Token: "coordinates", Msg: err.Error()}
 		}
 		return out, nil
 	case "MultiPolygon":
 		var multi [][][][2]float64
 		if err := json.Unmarshal(g.Coordinates, &multi); err != nil {
-			return nil, err
+			return nil, &ParseError{Offset: -1, Token: "coordinates", Msg: "malformed MultiPolygon coordinates: " + err.Error()}
 		}
 		var out geom.Polygon
 		for _, coords := range multi {
 			out = append(out, coordsToRings(coords)...)
 		}
 		if err := out.Validate(); err != nil {
-			return nil, fmt.Errorf("geojson: %v", err)
+			return nil, &ParseError{Offset: -1, Token: "coordinates", Msg: err.Error()}
 		}
 		return out, nil
 	default:
-		return nil, fmt.Errorf("unsupported geometry %q", g.Type)
+		return nil, &ParseError{Offset: -1, Token: g.Type, Msg: "unsupported geometry"}
 	}
 }
 

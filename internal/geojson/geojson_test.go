@@ -1,6 +1,7 @@
 package geojson
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -123,5 +124,66 @@ func TestDegenerateRingsDropped(t *testing.T) {
 	}
 	if len(got) != 1 || math.Abs(got.Area()-16) > 1e-12 {
 		t.Errorf("got %v", got)
+	}
+}
+
+// TestParseErrorPositions pins the position context of GeoJSON parse
+// failures: the clipd 400 bodies echo byte offsets (when the JSON decoder
+// knows them) and the offending token back to the client.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name      string
+		in        string
+		minOffset int64  // -1 when the offset is unknowable
+		token     string // "" when no token is attributable
+		substr    string
+	}{
+		{"truncated", `{"type":"Polygon","coordinates":[[[0,0],[1,0]`, 1, "", "unexpected end of JSON input"},
+		{"junk", `not json at all`, 1, "", "invalid character"},
+		{"wrong-shape", `{"type":["Polygon"]}`, 1, "type", "cannot decode array into string"},
+		{"unsupported", `{"type":"LineString"}`, -1, "LineString", "unsupported type"},
+		{"bad-coords", `{"type":"Polygon","coordinates":"nope"}`, -1, "coordinates", "malformed Polygon coordinates"},
+		{"bad-multi", `{"type":"MultiPolygon","coordinates":[[["x"]]]}`, -1, "coordinates", "malformed MultiPolygon coordinates"},
+		{"nonfinite", `{"type":"Polygon","coordinates":[[[0,0],[1,0],[1,1e999]]]}`, -1, "coordinates", "number 1e999"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Unmarshal([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("expected error")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParseError", err)
+			}
+			if tc.minOffset >= 0 && pe.Offset < tc.minOffset {
+				t.Errorf("offset %d, want >= %d (%v)", pe.Offset, tc.minOffset, err)
+			}
+			if tc.minOffset < 0 && pe.Offset != -1 {
+				t.Errorf("offset %d, want -1 (%v)", pe.Offset, err)
+			}
+			if pe.Token != tc.token {
+				t.Errorf("token %q, want %q (%v)", pe.Token, tc.token, err)
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("message %q does not contain %q", err.Error(), tc.substr)
+			}
+			if !strings.HasPrefix(err.Error(), "geojson: ") {
+				t.Errorf("message %q is missing the geojson: prefix", err.Error())
+			}
+		})
+	}
+}
+
+// TestLayerParseErrors pins position context through the layer path.
+func TestLayerParseErrors(t *testing.T) {
+	var pe *ParseError
+	_, err := UnmarshalLayer([]byte(`{"type":"Polygon"}`))
+	if !errors.As(err, &pe) || pe.Token != "Polygon" {
+		t.Errorf("wrong-type error = %v, want ParseError near \"Polygon\"", err)
+	}
+	_, err = UnmarshalLayer([]byte(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Polygon","coordinates":"x"}}]}`))
+	if !errors.As(err, &pe) || !strings.Contains(err.Error(), "feature 0") {
+		t.Errorf("feature error = %v, want ParseError naming feature 0", err)
 	}
 }

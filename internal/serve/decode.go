@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+
+	"polyclip"
+	"polyclip/internal/geojson"
+	"polyclip/internal/wkt"
+)
+
+// ClipRequest is the wire form of one clipping request. The operands are
+// either JSON strings holding WKT or inline GeoJSON geometry/Feature
+// objects; the two forms can be mixed freely.
+type ClipRequest struct {
+	Subject   json.RawMessage `json:"subject"`
+	Clip      json.RawMessage `json:"clip"`
+	Op        string          `json:"op"`
+	Rule      string          `json:"rule,omitempty"`      // "" | "evenodd" | "nonzero"
+	Algorithm string          `json:"algorithm,omitempty"` // "" | "overlay" | "slabs" | "scanbeam" | "sequential"
+}
+
+// ClipResponse is the wire form of a successful clip: the result as a
+// GeoJSON geometry plus the engine attribution and resilience trail the
+// metrics pipeline records.
+type ClipResponse struct {
+	Result   json.RawMessage `json:"result"`
+	Engine   string          `json:"engine,omitempty"`
+	Degraded bool            `json:"degraded,omitempty"`
+	Attempts []string        `json:"attempts,omitempty"`
+	Stats    *polyclip.Stats `json:"stats,omitempty"`
+}
+
+// ErrorResponse is the wire form of every non-2xx answer: a stable machine
+// code, a human message, and — for parse failures — the byte offset and
+// offending token so clients can pinpoint the problem in their payload.
+type ErrorResponse struct {
+	Code              string `json:"code"`
+	Error             string `json:"error"`
+	Field             string `json:"field,omitempty"`  // "subject" / "clip" for operand errors
+	Offset            int64  `json:"offset,omitempty"` // byte offset into the operand, when known
+	Token             string `json:"token,omitempty"`  // offending token, when known
+	RetryAfterSeconds int    `json:"retryAfterSeconds,omitempty"`
+}
+
+// httpError is an error already mapped to an HTTP answer.
+type httpError struct {
+	status int
+	body   ErrorResponse
+}
+
+func (e *httpError) Error() string { return e.body.Error }
+
+func httpErrorf(status int, code, format string, args ...any) *httpError {
+	return &httpError{status: status, body: ErrorResponse{Code: code, Error: fmt.Sprintf(format, args...)}}
+}
+
+// parsedRequest is a decoded, validated clip request ready to enqueue.
+type parsedRequest struct {
+	subject, clip polyclip.Polygon
+	op            polyclip.Op
+	rule          polyclip.FillRule
+	algo          polyclip.Algorithm
+	opName        string
+	algoName      string
+}
+
+// decodeRequest turns an HTTP request into a validated clip job, mapping
+// every failure mode to a typed 4xx: wrong method and content type, bodies
+// over the limit, malformed JSON (with the decoder's byte offset), unknown
+// op/rule/algorithm values, and operand parse errors carrying the
+// position context of the WKT/GeoJSON parsers.
+func decodeRequest(w http.ResponseWriter, r *http.Request, maxBody int64) (*parsedRequest, *httpError) {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != "application/json" && mt != "application/geo+json" && mt != "text/json") {
+			return nil, httpErrorf(http.StatusUnsupportedMediaType, "unsupported-content-type",
+				"content type %q is not supported; send application/json", ct)
+		}
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, httpErrorf(http.StatusRequestEntityTooLarge, "body-too-large",
+				"request body exceeds the %d byte limit", mbe.Limit)
+		}
+		return nil, httpErrorf(http.StatusBadRequest, "body-read", "reading request body: %v", err)
+	}
+	var req ClipRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		he := httpErrorf(http.StatusBadRequest, "malformed-json", "malformed request body: %v", err)
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) {
+			he.body.Offset = syn.Offset
+		}
+		var typ *json.UnmarshalTypeError
+		if errors.As(err, &typ) {
+			he.body.Offset = typ.Offset
+			he.body.Token = typ.Field
+		}
+		return nil, he
+	}
+
+	out := &parsedRequest{opName: strings.ToLower(req.Op)}
+	switch out.opName {
+	case "intersection":
+		out.op = polyclip.Intersection
+	case "union":
+		out.op = polyclip.Union
+	case "difference":
+		out.op = polyclip.Difference
+	case "xor":
+		out.op = polyclip.Xor
+	default:
+		return nil, httpErrorf(http.StatusBadRequest, "unknown-op",
+			"op %q is not one of intersection, union, difference, xor", req.Op)
+	}
+	switch strings.ToLower(req.Rule) {
+	case "", "evenodd":
+		out.rule = polyclip.EvenOdd
+	case "nonzero":
+		out.rule = polyclip.NonZero
+	default:
+		return nil, httpErrorf(http.StatusBadRequest, "unknown-rule",
+			"rule %q is not one of evenodd, nonzero", req.Rule)
+	}
+	out.algoName = strings.ToLower(req.Algorithm)
+	switch out.algoName {
+	case "", "overlay":
+		out.algo, out.algoName = polyclip.AlgoOverlay, "overlay"
+	case "slabs":
+		out.algo = polyclip.AlgoSlabs
+	case "scanbeam":
+		out.algo = polyclip.AlgoScanbeam
+	case "sequential":
+		out.algo = polyclip.AlgoSequential
+	default:
+		return nil, httpErrorf(http.StatusBadRequest, "unknown-algorithm",
+			"algorithm %q is not one of overlay, slabs, scanbeam, sequential", req.Algorithm)
+	}
+
+	if out.subject, err = parseOperand(req.Subject); err != nil {
+		return nil, operandError("subject", err)
+	}
+	if out.clip, err = parseOperand(req.Clip); err != nil {
+		return nil, operandError("clip", err)
+	}
+	return out, nil
+}
+
+// parseOperand decodes one operand: a JSON string is WKT, an object is a
+// GeoJSON geometry or Feature.
+func parseOperand(raw json.RawMessage) (polyclip.Polygon, error) {
+	trimmed := strings.TrimSpace(string(raw))
+	switch {
+	case trimmed == "" || trimmed == "null":
+		return nil, errors.New("operand is missing")
+	case trimmed[0] == '"':
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("malformed WKT string: %v", err)
+		}
+		return polyclip.ParseWKT(s)
+	case trimmed[0] == '{':
+		return polyclip.ParseGeoJSON(raw)
+	default:
+		return nil, errors.New("operand must be a WKT string or a GeoJSON object")
+	}
+}
+
+// operandError maps a WKT/GeoJSON parse failure to a 400 carrying the
+// parser's position context.
+func operandError(field string, err error) *httpError {
+	he := httpErrorf(http.StatusBadRequest, "bad-"+field, "%s: %v", field, err)
+	he.body.Field = field
+	var se *wkt.SyntaxError
+	if errors.As(err, &se) {
+		he.body.Offset = int64(se.Offset)
+		he.body.Token = se.Token
+		return he
+	}
+	var pe *geojson.ParseError
+	if errors.As(err, &pe) {
+		if pe.Offset >= 0 {
+			he.body.Offset = pe.Offset
+		}
+		he.body.Token = pe.Token
+	}
+	return he
+}
+
+// clipError maps a pipeline error to its HTTP answer: typed 4xx for invalid
+// input and unsupported rule/algorithm combinations, 504 for deadline
+// exhaustion, and a structured 500 for everything the chain could not
+// absorb.
+func clipError(err error) *httpError {
+	switch {
+	case errors.Is(err, polyclip.ErrInvalidInput):
+		return httpErrorf(http.StatusBadRequest, "invalid-input", "%v", err)
+	case errors.Is(err, polyclip.ErrUnsupported):
+		return httpErrorf(http.StatusUnprocessableEntity, "unsupported", "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return httpErrorf(http.StatusGatewayTimeout, "deadline", "%v", err)
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499-style. No standard code exists, so use
+		// 408 — the body will rarely be read anyway.
+		return httpErrorf(http.StatusRequestTimeout, "canceled", "%v", err)
+	default:
+		var ce *polyclip.ClipError
+		if errors.As(err, &ce) {
+			return httpErrorf(http.StatusInternalServerError, "clip-failed",
+				"clipping failed after every fallback: %v", err)
+		}
+		return httpErrorf(http.StatusInternalServerError, "internal", "%v", err)
+	}
+}

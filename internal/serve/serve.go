@@ -1,0 +1,446 @@
+// Package serve is the fault-tolerant HTTP serving layer over the clipping
+// library: the clipd daemon is a thin main around this package. Robustness
+// is the architecture, not a wrapper —
+//
+//   - a channel-based batcher coalesces small clips into one flush
+//     (BatchSize + MaxWait knobs, per-request response channels);
+//   - admission control bounds the queue, switches overflow traffic to the
+//     degraded chain (the coarse-grid/sequential tail of the resilience
+//     chain table) and sheds with 503 + Retry-After only when even the
+//     degraded slots are exhausted — no silent drops;
+//   - every request runs under a deadline budget that propagates into the
+//     library's per-stage watchdogs, with jittered-backoff retries for
+//     recoverable ClipErrors;
+//   - guard fault sites (serve.enqueue / serve.flush / serve.encode) let
+//     the chaos harness drive panics, hangs and corruption through the
+//     server itself, which must answer every request and never crash;
+//   - a flat per-request metrics record (enqueue/flush/arrange/sweep/stitch
+//     timestamps plus the Stats.Resilience counters) is retained in a ring
+//     and exported as CSV, with /healthz and /statz for probes.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polyclip"
+	"polyclip/internal/guard"
+)
+
+func numCPU() int { return runtime.GOMAXPROCS(0) }
+
+// Config parameterizes one Server. The zero value is usable: every knob
+// has a production-shaped default.
+type Config struct {
+	// BatchSize is the max requests coalesced into one flush (default 16).
+	BatchSize int
+	// MaxWait bounds how long an admitted request waits for its batch to
+	// fill before a partial flush (default 2ms).
+	MaxWait time.Duration
+	// QueueDepth bounds the admission queue; a full queue switches traffic
+	// to the degraded path (default 256).
+	QueueDepth int
+	// MaxConcurrent bounds clips in flight at once across all batches
+	// (default 2*GOMAXPROCS, min 4). Backpressure propagates: when every
+	// slot is busy the flush loop blocks, the queue fills, and admission
+	// control starts degrading/shedding.
+	MaxConcurrent int
+	// DegradedConcurrency is the number of inline slots serving overflow
+	// traffic through the degraded chain (default 2).
+	DegradedConcurrency int
+	// DegradedHold is how long degraded mode stays engaged after the last
+	// overflow (default 1s) — the hysteresis that makes /statz mode
+	// reporting stable.
+	DegradedHold time.Duration
+	// RequestTimeout is the per-request deadline budget, propagated into
+	// the engine's per-stage watchdogs (default 5s; <0 disables).
+	RequestTimeout time.Duration
+	// MaxRetries is the number of jittered-backoff retries for recoverable
+	// ClipErrors (default 2).
+	MaxRetries int
+	// RetryBase is the backoff base; attempt n sleeps in
+	// [RetryBase<<n/2, RetryBase<<n) (default 2ms).
+	RetryBase time.Duration
+	// RetryAfter is the advertised Retry-After on shed responses
+	// (default 1s, rounded up to whole seconds).
+	RetryAfter time.Duration
+	// Threads bounds per-clip parallelism in the normal path; degraded
+	// clips are always single-threaded (default: library default).
+	Threads int
+	// Seed makes the retry jitter reproducible; 0 seeds from the clock.
+	Seed int64
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MetricsWindow is the retained per-request record count (default 4096).
+	MetricsWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+		if n := 2 * numCPU(); n > c.MaxConcurrent {
+			c.MaxConcurrent = n
+		}
+	}
+	if c.DegradedConcurrency <= 0 {
+		c.DegradedConcurrency = 2
+	}
+	if c.DegradedHold <= 0 {
+		c.DegradedHold = time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 2 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MetricsWindow <= 0 {
+		c.MetricsWindow = 4096
+	}
+	return c
+}
+
+// Server is the serving engine. Create with NewServer, expose via
+// Handler, stop with Close.
+type Server struct {
+	cfg Config
+
+	queue       chan *job
+	workSem     chan struct{} // bounds clips in flight (normal path)
+	degradedSem chan struct{} // bounds inline degraded clips (overflow path)
+	done        chan struct{}
+	wg          sync.WaitGroup
+	closed      atomic.Bool
+
+	degradedUntil atomic.Int64 // unix nanos; mode is degraded until then
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	metrics *metricsRing
+	start   time.Time
+
+	nextID   atomic.Int64
+	served   atomic.Int64
+	ok       atomic.Int64
+	cliErr   atomic.Int64
+	srvErr   atomic.Int64
+	shed     atomic.Int64
+	degraded atomic.Int64
+	inflight atomic.Int64
+	flushes  atomic.Int64
+	batched  atomic.Int64
+
+	retries       atomic.Int64
+	recovered     atomic.Int64
+	stageTimeouts atomic.Int64
+	auditFailures atomic.Int64
+	fallbackSteps atomic.Int64
+}
+
+// NewServer builds a Server and starts its flush loop.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	s := &Server{
+		cfg:         cfg,
+		queue:       make(chan *job, cfg.QueueDepth),
+		workSem:     make(chan struct{}, cfg.MaxConcurrent),
+		degradedSem: make(chan struct{}, cfg.DegradedConcurrency),
+		done:        make(chan struct{}),
+		rng:         rand.New(rand.NewSource(seed)),
+		metrics:     newMetricsRing(cfg.MetricsWindow),
+		start:       time.Now(),
+	}
+	s.wg.Add(1)
+	go s.flushLoop()
+	return s
+}
+
+// Handler returns the HTTP surface: POST /clip, GET /healthz, GET /statz,
+// GET /metrics.csv.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/clip", s.handleClip)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/metrics.csv", s.handleMetricsCSV)
+	return mux
+}
+
+// Close stops the flush loop and marks the server draining: new requests
+// are answered 503. In-flight clips finish on their own goroutines.
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.done)
+		s.wg.Wait()
+	}
+}
+
+// Mode reports the admission mode: "degraded" while overflow traffic is
+// being served through the degraded chain (with DegradedHold hysteresis),
+// "normal" otherwise.
+func (s *Server) Mode() string {
+	if time.Now().UnixNano() < s.degradedUntil.Load() {
+		return "degraded"
+	}
+	return "normal"
+}
+
+// markDegraded engages (or extends) degraded mode.
+func (s *Server) markDegraded() {
+	until := time.Now().Add(s.cfg.DegradedHold).UnixNano()
+	for {
+		cur := s.degradedUntil.Load()
+		if cur >= until || s.degradedUntil.CompareAndSwap(cur, until) {
+			return
+		}
+	}
+}
+
+// Statz assembles the aggregate snapshot.
+func (s *Server) Statz() Statz {
+	p50, p99 := s.metrics.Percentiles()
+	st := Statz{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Mode:            s.Mode(),
+		Served:          s.served.Load(),
+		OK:              s.ok.Load(),
+		ClientErrors:    s.cliErr.Load(),
+		ServerErrors:    s.srvErr.Load(),
+		Shed:            s.shed.Load(),
+		DegradedServed:  s.degraded.Load(),
+		QueueLen:        len(s.queue),
+		QueueCap:        cap(s.queue),
+		Inflight:        s.inflight.Load(),
+		BatchFlushes:    s.flushes.Load(),
+		BatchedRequests: s.batched.Load(),
+		P50Ms:           float64(p50) / float64(time.Millisecond),
+		P99Ms:           float64(p99) / float64(time.Millisecond),
+		ServeRetries:    s.retries.Load(),
+		Recovered:       s.recovered.Load(),
+		StageTimeouts:   s.stageTimeouts.Load(),
+		AuditFailures:   s.auditFailures.Load(),
+		FallbackSteps:   s.fallbackSteps.Load(),
+	}
+	if st.BatchFlushes > 0 {
+		st.MeanBatchSize = float64(st.BatchedRequests) / float64(st.BatchFlushes)
+	}
+	return st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"mode":          s.Mode(),
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Statz())
+}
+
+func (s *Server) handleMetricsCSV(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	_ = s.metrics.WriteCSV(w)
+}
+
+// handleClip is the request path: decode → admit (enqueue, degrade, or
+// shed) → await the response channel → encode. A panic anywhere in the
+// handler — including the serve.enqueue / serve.encode fault sites — is
+// answered as a structured 500, never a crash.
+func (s *Server) handleClip(w http.ResponseWriter, r *http.Request) {
+	m := &RequestMetrics{ID: s.nextID.Add(1), RecvNs: time.Now().UnixNano()}
+	answered := false
+	finish := func(status int) {
+		answered = true
+		m.Status = status
+		m.DoneNs = time.Now().UnixNano()
+		s.metrics.Add(*m)
+		s.served.Add(1)
+		switch {
+		case status < 400:
+			s.ok.Add(1)
+		case status < 500:
+			s.cliErr.Add(1)
+		default:
+			s.srvErr.Add(1)
+		}
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			err := guard.FromPanic("serve.handler", -1, guard.NoPair, rec)
+			he := httpErrorf(http.StatusInternalServerError, "panic", "%v", err)
+			s.writeError(w, he)
+			if !answered {
+				finish(he.status)
+			}
+		}
+	}()
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		he := httpErrorf(http.StatusMethodNotAllowed, "method-not-allowed", "use POST")
+		s.writeError(w, he)
+		finish(he.status)
+		return
+	}
+	if s.closed.Load() {
+		he := s.shedError("server is draining")
+		s.writeShed(w, he)
+		m.Shed = true
+		finish(he.status)
+		return
+	}
+
+	preq, he := decodeRequest(w, r, s.cfg.MaxBodyBytes)
+	if he != nil {
+		s.writeError(w, he)
+		finish(he.status)
+		return
+	}
+	m.Op, m.Algorithm = preq.opName, preq.algoName
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	j := &job{req: preq, ctx: ctx, resp: make(chan jobResult, 1), m: m}
+
+	// Admission. The enqueue fault site sits before the queue send so an
+	// injected panic exercises the handler's recovery path.
+	guard.Hit("serve.enqueue")
+	select {
+	case s.queue <- j:
+		m.EnqueueNs = time.Now().UnixNano()
+	default:
+		// Queue full: degraded slot, or shed with Retry-After.
+		s.markDegraded()
+		select {
+		case s.degradedSem <- struct{}{}:
+			j.degraded = true
+			m.Degraded = true
+			m.EnqueueNs = time.Now().UnixNano()
+			s.degraded.Add(1)
+			go func() {
+				defer func() { <-s.degradedSem }()
+				s.clipOne(j)
+			}()
+		default:
+			m.Shed = true
+			he := s.shedError("queue and degraded slots are full")
+			s.writeShed(w, he)
+			finish(he.status)
+			return
+		}
+	}
+
+	select {
+	case res := <-j.resp:
+		if res.err != nil {
+			he := clipError(res.err)
+			s.writeError(w, he)
+			finish(he.status)
+			return
+		}
+		status, err := s.writeResult(w, j, res)
+		if err != nil {
+			he := clipError(err)
+			s.writeError(w, he)
+			finish(he.status)
+			return
+		}
+		finish(status)
+	case <-ctx.Done():
+		he := clipError(ctx.Err())
+		s.writeError(w, he)
+		finish(he.status)
+	}
+}
+
+// writeResult encodes the clipped polygon as GeoJSON. The serve.encode
+// fault site sits before marshalling; a panic there unwinds into the
+// handler's recovery.
+func (s *Server) writeResult(w http.ResponseWriter, j *job, res jobResult) (int, error) {
+	guard.Hit("serve.encode")
+	raw, err := polyclip.FormatGeoJSON(res.out)
+	if err != nil {
+		return 0, err
+	}
+	resp := ClipResponse{
+		Result:   raw,
+		Degraded: j.degraded,
+		Stats:    res.st,
+	}
+	if res.st != nil {
+		resp.Engine = res.st.Engine
+		resp.Attempts = res.st.Resilience.Attempts
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// shedError builds the 503 answer; every shed response advertises
+// Retry-After.
+func (s *Server) shedError(msg string) *httpError {
+	he := httpErrorf(http.StatusServiceUnavailable, "overloaded", "%s", msg)
+	he.body.RetryAfterSeconds = int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if he.body.RetryAfterSeconds < 1 {
+		he.body.RetryAfterSeconds = 1
+	}
+	return he
+}
+
+func (s *Server) writeShed(w http.ResponseWriter, he *httpError) {
+	w.Header().Set("Retry-After", strconv.Itoa(he.body.RetryAfterSeconds))
+	s.shed.Add(1)
+	writeJSON(w, he.status, he.body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
+	writeJSON(w, he.status, he.body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

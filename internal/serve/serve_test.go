@@ -1,0 +1,522 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"polyclip"
+	"polyclip/internal/guard"
+)
+
+const (
+	sqA = `POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))`
+	sqB = `POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))`
+)
+
+// newTestServer builds a server + httptest frontend with fast test knobs.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func clipBody(subject, clip, op string, extra map[string]any) []byte {
+	m := map[string]any{"subject": subject, "clip": clip, "op": op}
+	for k, v := range extra {
+		m[k] = v
+	}
+	b, _ := json.Marshal(m)
+	return b
+}
+
+func postClip(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/clip", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /clip: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func resultArea(t *testing.T, body []byte) float64 {
+	t.Helper()
+	var cr ClipResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatalf("response %s: %v", body, err)
+	}
+	p, err := polyclip.ParseGeoJSON(cr.Result)
+	if err != nil {
+		t.Fatalf("result geometry: %v", err)
+	}
+	return p.Area()
+}
+
+func TestClipEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postClip(t, ts.URL, clipBody(sqA, sqB, "intersection", nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resultArea(t, body); math.Abs(got-4) > 1e-9 {
+		t.Errorf("area = %v, want 4", got)
+	}
+	var cr ClipResponse
+	_ = json.Unmarshal(body, &cr)
+	if cr.Engine == "" {
+		t.Error("engine attribution missing")
+	}
+	if cr.Stats == nil {
+		t.Error("stats missing from response")
+	}
+	if cr.Degraded {
+		t.Error("uncontended request should not be degraded")
+	}
+}
+
+func TestClipGeoJSONOperand(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := []byte(fmt.Sprintf(
+		`{"subject": %q, "clip": {"type":"Polygon","coordinates":[[[2,2],[6,2],[6,6],[2,6],[2,2]]]}, "op":"union"}`,
+		sqA))
+	resp, rbody := postClip(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, rbody)
+	}
+	if got := resultArea(t, rbody); math.Abs(got-28) > 1e-9 {
+		t.Errorf("area = %v, want 28", got)
+	}
+}
+
+func TestAllOpsRulesAlgorithms(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, op := range []string{"intersection", "union", "difference", "xor"} {
+		for _, algo := range []string{"overlay", "slabs", "scanbeam", "sequential"} {
+			resp, body := postClip(t, ts.URL, clipBody(sqA, sqB, op, map[string]any{"algorithm": algo}))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("%s/%s: status %d: %s", op, algo, resp.StatusCode, body)
+			}
+		}
+	}
+	// NonZero is overlay-only: supported there, typed 422 elsewhere.
+	resp, _ := postClip(t, ts.URL, clipBody(sqA, sqB, "union", map[string]any{"rule": "nonzero"}))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("nonzero overlay: status %d", resp.StatusCode)
+	}
+	resp, body := postClip(t, ts.URL, clipBody(sqA, sqB, "union", map[string]any{"rule": "nonzero", "algorithm": "slabs"}))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("nonzero slabs: status %d, want 422: %s", resp.StatusCode, body)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 512})
+	cases := []struct {
+		name        string
+		contentType string
+		body        string
+		status      int
+		code        string
+		wantOffset  bool
+	}{
+		{"junk-json", "application/json", `{"subject": oops`, 400, "malformed-json", true},
+		{"unknown-op", "application/json", `{"subject":"POLYGON EMPTY","clip":"POLYGON EMPTY","op":"smoosh"}`, 400, "unknown-op", false},
+		{"unknown-rule", "application/json", `{"subject":"POLYGON EMPTY","clip":"POLYGON EMPTY","op":"union","rule":"zebra"}`, 400, "unknown-rule", false},
+		{"unknown-algorithm", "application/json", `{"subject":"POLYGON EMPTY","clip":"POLYGON EMPTY","op":"union","algorithm":"magic"}`, 400, "unknown-algorithm", false},
+		{"bad-wkt", "application/json", `{"subject":"POLYGON ((a b))","clip":"POLYGON EMPTY","op":"union"}`, 400, "bad-subject", true},
+		{"bad-geojson", "application/json", `{"subject":{"type":"LineString"},"clip":"POLYGON EMPTY","op":"union"}`, 400, "bad-subject", false},
+		{"missing-operand", "application/json", `{"op":"union","clip":"POLYGON EMPTY"}`, 400, "bad-subject", false},
+		{"operand-shape", "application/json", `{"subject":42,"clip":"POLYGON EMPTY","op":"union"}`, 400, "bad-subject", false},
+		{"content-type", "text/xml", `<x/>`, 415, "unsupported-content-type", false},
+		{"too-large", "application/json", `{"subject":"` + strings.Repeat("x", 600) + `"}`, 413, "body-too-large", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/clip", tc.contentType, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var er ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatalf("error body: %v", err)
+			}
+			if resp.StatusCode != tc.status {
+				t.Errorf("status %d, want %d (%+v)", resp.StatusCode, tc.status, er)
+			}
+			if er.Code != tc.code {
+				t.Errorf("code %q, want %q (%+v)", er.Code, tc.code, er)
+			}
+			if tc.wantOffset && er.Offset == 0 {
+				t.Errorf("expected a nonzero byte offset in %+v", er)
+			}
+		})
+	}
+
+	// Method and input validation round out the typed 4xx surface.
+	resp, err := http.Get(ts.URL + "/clip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /clip: status %d, want 405", resp.StatusCode)
+	}
+	resp2, body := postClip(t, ts.URL, clipBody(`POLYGON ((0 0, 1e200 0, 1e200 1e200, 0 1e200, 0 0))`, sqB, "union", nil))
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("overflowing input: status %d, want 400: %s", resp2.StatusCode, body)
+	}
+	var er ErrorResponse
+	_ = json.Unmarshal(body, &er)
+	if er.Code != "invalid-input" {
+		t.Errorf("overflowing input: code %q, want invalid-input", er.Code)
+	}
+}
+
+// TestBatchingCoalesces proves the batcher actually batches: a burst
+// launched while the flush loop waits out MaxWait lands in few flushes.
+func TestBatchingCoalesces(t *testing.T) {
+	s, ts := newTestServer(t, Config{BatchSize: 8, MaxWait: 100 * time.Millisecond})
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postClip(t, ts.URL, clipBody(sqA, sqB, "intersection", nil))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Statz()
+	if st.BatchedRequests != n {
+		t.Errorf("batched %d requests, want %d", st.BatchedRequests, n)
+	}
+	if st.BatchFlushes >= n {
+		t.Errorf("%d flushes for %d requests: no coalescing happened", st.BatchFlushes, n)
+	}
+	if st.MeanBatchSize <= 1 {
+		t.Errorf("mean batch size %.2f, want > 1", st.MeanBatchSize)
+	}
+}
+
+// slowRing builds a many-vertex operand pair so each clip takes real work —
+// the overload tests need requests to pile up.
+func slowOperands(n int) (string, string) {
+	ring := func(cx, cy, r float64) string {
+		var b strings.Builder
+		b.WriteString("POLYGON ((")
+		for i := 0; i <= n; i++ {
+			a := 2 * math.Pi * float64(i%n) / float64(n)
+			fmt.Fprintf(&b, "%.6f %.6f", cx+r*math.Cos(a), cy+r*math.Sin(a))
+			if i < n {
+				b.WriteString(", ")
+			}
+		}
+		b.WriteString("))")
+		return b.String()
+	}
+	return ring(0, 0, 10), ring(3, 3, 10)
+}
+
+// TestOverloadDegradesThenSheds drives the server past its queue: overflow
+// must be served through the degraded chain first, sheds must carry
+// Retry-After, nothing may be dropped silently, and the mode must
+// disengage once load subsides.
+func TestOverloadDegradesThenSheds(t *testing.T) {
+	subj, clip := slowOperands(600)
+	s, ts := newTestServer(t, Config{
+		BatchSize:           2,
+		MaxWait:             time.Millisecond,
+		QueueDepth:          2,
+		MaxConcurrent:       1,
+		DegradedConcurrency: 1,
+		Threads:             1,
+		DegradedHold:        300 * time.Millisecond,
+		RequestTimeout:      10 * time.Second,
+	})
+	const n = 40
+	var (
+		wg         sync.WaitGroup
+		ok, shed   atomic.Int64
+		degraded   atomic.Int64
+		other      atomic.Int64
+		missingRA  atomic.Int64
+		unanswered atomic.Int64
+	)
+	body := clipBody(subj, clip, "intersection", nil)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/clip", "application/json", bytes.NewReader(body))
+			if err != nil {
+				unanswered.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			_, _ = buf.ReadFrom(resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok.Add(1)
+				var cr ClipResponse
+				_ = json.Unmarshal(buf.Bytes(), &cr)
+				if cr.Degraded {
+					degraded.Add(1)
+					if len(cr.Attempts) == 0 || !(strings.HasPrefix(cr.Attempts[0], "overlay-coarse") || strings.HasPrefix(cr.Attempts[0], "vatti")) {
+						t.Errorf("degraded response did not go through the degraded chain: %v", cr.Attempts)
+					}
+				}
+			case http.StatusServiceUnavailable:
+				shed.Add(1)
+				if resp.Header.Get("Retry-After") == "" {
+					missingRA.Add(1)
+				}
+			default:
+				other.Add(1)
+				t.Errorf("unexpected status %d: %s", resp.StatusCode, buf.Bytes())
+			}
+		}()
+	}
+	wg.Wait()
+	if unanswered.Load() > 0 {
+		t.Errorf("%d requests got no HTTP answer at all", unanswered.Load())
+	}
+	if missingRA.Load() > 0 {
+		t.Errorf("%d shed responses missing Retry-After", missingRA.Load())
+	}
+	if ok.Load()+shed.Load()+other.Load() != n {
+		t.Errorf("answered %d of %d", ok.Load()+shed.Load()+other.Load(), n)
+	}
+	st := s.Statz()
+	if st.DegradedServed == 0 {
+		t.Error("no overflow traffic was served through the degraded chain")
+	}
+	if degraded.Load() == 0 {
+		t.Error("no 200 response was marked degraded")
+	}
+	if s.Mode() != "degraded" {
+		t.Error("mode should be degraded right after an overload burst")
+	}
+	// Load subsided: the mode must disengage after the hold expires.
+	time.Sleep(400 * time.Millisecond)
+	if s.Mode() != "normal" {
+		t.Error("mode should return to normal once load subsides")
+	}
+	t.Logf("overload: ok=%d (degraded=%d) shed=%d statz=%s", ok.Load(), degraded.Load(), shed.Load(), st)
+}
+
+// TestServeFaultSites drives one injected panic through each serve-path
+// fault site: the process must not crash and every request must still get
+// an HTTP answer.
+func TestServeFaultSites(t *testing.T) {
+	for _, site := range []string{"serve.enqueue", "serve.flush", "serve.encode"} {
+		t.Run(site, func(t *testing.T) {
+			_, ts := newTestServer(t, Config{MaxWait: time.Millisecond})
+			guard.WithFault(t, site, guard.Once(func() {
+				panic("chaos: injected panic at " + site)
+			}))
+			resp, body := postClip(t, ts.URL, clipBody(sqA, sqB, "intersection", nil))
+			if resp.StatusCode != http.StatusInternalServerError {
+				t.Errorf("faulted request: status %d, want 500: %s", resp.StatusCode, body)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("error body is not structured JSON: %s", body)
+			}
+			// The fault was one-shot: the next request must succeed.
+			resp2, body2 := postClip(t, ts.URL, clipBody(sqA, sqB, "intersection", nil))
+			if resp2.StatusCode != http.StatusOK {
+				t.Errorf("post-fault request: status %d: %s", resp2.StatusCode, body2)
+			}
+		})
+	}
+}
+
+// TestEngineFaultRetried: a transient engine panic is absorbed by the
+// serve layer's jittered retry (or the library's own fallback chain) — the
+// client still sees a 200.
+func TestEngineFaultRetried(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxWait: time.Millisecond, MaxRetries: 2, RetryBase: time.Millisecond})
+	guard.WithFault(t, "overlay.clip", guard.Once(func() {
+		panic("chaos: transient engine fault")
+	}))
+	resp, body := postClip(t, ts.URL, clipBody(sqA, sqB, "intersection", nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resultArea(t, body); math.Abs(got-4) > 1e-9 {
+		t.Errorf("area = %v, want 4", got)
+	}
+	st := s.Statz()
+	if st.FallbackSteps == 0 && st.ServeRetries == 0 && st.Recovered == 0 {
+		t.Error("no resilience intervention recorded for the faulted clip")
+	}
+}
+
+func TestDeadlineBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxWait: time.Millisecond, RequestTimeout: 60 * time.Millisecond, MaxRetries: 0})
+	guard.WithFault(t, "par.worker", func() { time.Sleep(300 * time.Millisecond) })
+	start := time.Now()
+	resp, body := postClip(t, ts.URL, clipBody(sqA, sqB, "intersection", nil))
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout && resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d, want 504 or structured 500: %s", resp.StatusCode, body)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("deadline-bounded request took %v", elapsed)
+	}
+}
+
+func TestHealthzStatzMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxWait: time.Millisecond})
+	postClip(t, ts.URL, clipBody(sqA, sqB, "xor", nil))
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("statz: %v", err)
+	}
+	resp.Body.Close()
+	if st.Served < 1 || st.OK < 1 {
+		t.Errorf("statz counters: %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("statz String is empty")
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("metrics.csv has no data rows: %q", buf.String())
+	}
+	if lines[0] != strings.Join(csvHeader, ",") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	row := strings.Split(lines[1], ",")
+	if len(row) != len(csvHeader) {
+		t.Errorf("csv row has %d fields, want %d", len(row), len(csvHeader))
+	}
+
+	// Lifecycle timestamps are monotone for a batched request.
+	recs := s.metrics.Records()
+	var found bool
+	for _, m := range recs {
+		if m.Status == http.StatusOK && !m.Degraded {
+			found = true
+			if !(m.RecvNs <= m.EnqueueNs && m.EnqueueNs <= m.FlushNs && m.FlushNs <= m.DoneNs) {
+				t.Errorf("timestamps not monotone: %+v", m)
+			}
+		}
+	}
+	if !found {
+		t.Error("no successful batched record retained")
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxWait: time.Millisecond})
+	s.Close()
+	resp, body := postClip(t, ts.URL, clipBody(sqA, sqB, "union", nil))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-close clip: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining 503 must still carry Retry-After")
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-close healthz: %d", hresp.StatusCode)
+	}
+	// Close is idempotent.
+	s.Close()
+}
+
+func TestClientCancelMidFlight(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxWait: time.Millisecond})
+	subj, clip := slowOperands(400)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/clip",
+		bytes.NewReader(clipBody(subj, clip, "union", nil)))
+	req.Header.Set("Content-Type", "application/json")
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+	// Whatever the racing outcome for the canceled call, the server must
+	// still be fully functional.
+	resp2, body := postClip(t, ts.URL, clipBody(sqA, sqB, "intersection", nil))
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("post-cancel request: status %d: %s", resp2.StatusCode, body)
+	}
+}
+
+func TestMetricsRingWraps(t *testing.T) {
+	r := newMetricsRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Add(RequestMetrics{ID: int64(i), RecvNs: int64(i), DoneNs: int64(i + 1)})
+	}
+	recs := r.Records()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d, want 4", len(recs))
+	}
+	if recs[0].ID != 3 || recs[3].ID != 6 {
+		t.Errorf("window = %v..%v, want 3..6", recs[0].ID, recs[3].ID)
+	}
+	p50, p99 := r.Percentiles()
+	if p50 == 0 || p99 == 0 {
+		t.Errorf("percentiles = %v, %v", p50, p99)
+	}
+}

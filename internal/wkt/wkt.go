@@ -81,10 +81,47 @@ func ringBody(r geom.Ring, wrap bool) string {
 	return b.String()
 }
 
-// Unmarshal parses a POLYGON or MULTIPOLYGON WKT string.
+// SyntaxError reports a WKT parse failure with its position: the byte
+// offset into the input and the offending token (or a short snippet of the
+// input around the offset when no single token is attributable). Callers
+// that serve parse errors to clients — the clipd 400 bodies — retrieve it
+// with errors.As to echo the position back.
+type SyntaxError struct {
+	Offset int    // byte offset into the input where parsing failed
+	Token  string // offending token or input snippet at Offset
+	Msg    string // what the parser expected or rejected
+}
+
+// Error formats the failure with its byte offset and token.
+func (e *SyntaxError) Error() string {
+	if e.Token == "" {
+		return fmt.Sprintf("wkt: %s at byte %d", e.Msg, e.Offset)
+	}
+	return fmt.Sprintf("wkt: %s at byte %d near %q", e.Msg, e.Offset, e.Token)
+}
+
+// snippet extracts the token shown in a SyntaxError: up to 12 bytes of the
+// input starting at offset, or "end of input" past the end.
+func snippet(s string, offset int) string {
+	if offset >= len(s) {
+		return "end of input"
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	end := offset + 12
+	if end > len(s) {
+		end = len(s)
+	}
+	return s[offset:end]
+}
+
+// Unmarshal parses a POLYGON or MULTIPOLYGON WKT string. Parse failures are
+// returned as *SyntaxError carrying the byte offset and offending token.
 func Unmarshal(s string) (geom.Polygon, error) {
 	p := &parser{s: s}
 	p.skipSpace()
+	kwStart := p.pos
 	kw := p.keyword()
 	switch kw {
 	case "POLYGON":
@@ -118,7 +155,11 @@ func Unmarshal(s string) (geom.Polygon, error) {
 			return out, nil
 		}
 	default:
-		return nil, fmt.Errorf("wkt: unsupported geometry %q", kw)
+		msg := "unsupported geometry"
+		if kw == "" {
+			msg = "expected a geometry keyword"
+		}
+		return nil, &SyntaxError{Offset: kwStart, Token: snippet(s, kwStart), Msg: msg}
 	}
 }
 
@@ -167,7 +208,11 @@ func (p *parser) tryByte(c byte) bool {
 func (p *parser) expect(c byte) error {
 	p.skipSpace()
 	if p.pos >= len(p.s) || p.s[p.pos] != c {
-		return fmt.Errorf("wkt: expected %q at offset %d", string(c), p.pos)
+		return &SyntaxError{
+			Offset: p.pos,
+			Token:  snippet(p.s, p.pos),
+			Msg:    fmt.Sprintf("expected %q", string(c)),
+		}
 	}
 	p.pos++
 	return nil
@@ -238,14 +283,15 @@ func (p *parser) number() (float64, error) {
 		}
 	}
 	if start == p.pos {
-		return 0, fmt.Errorf("wkt: expected number at offset %d", start)
+		return 0, &SyntaxError{Offset: start, Token: snippet(p.s, start), Msg: "expected a number"}
 	}
-	v, err := strconv.ParseFloat(p.s[start:p.pos], 64)
+	tok := p.s[start:p.pos]
+	v, err := strconv.ParseFloat(tok, 64)
 	if err != nil {
-		return 0, fmt.Errorf("wkt: bad number %q at offset %d: %v", p.s[start:p.pos], start, err)
+		return 0, &SyntaxError{Offset: start, Token: tok, Msg: "bad number"}
 	}
 	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return 0, fmt.Errorf("wkt: non-finite coordinate %q at offset %d", p.s[start:p.pos], start)
+		return 0, &SyntaxError{Offset: start, Token: tok, Msg: "non-finite coordinate"}
 	}
 	return v, nil
 }

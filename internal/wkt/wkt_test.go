@@ -1,6 +1,8 @@
 package wkt
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"reflect"
 	"strings"
@@ -105,6 +107,50 @@ func TestUnmarshalErrors(t *testing.T) {
 	for _, s := range bad {
 		if _, err := Unmarshal(s); err == nil {
 			t.Errorf("%q: expected error", s)
+		}
+	}
+}
+
+// TestSyntaxErrorPositions pins the position context of parse failures: the
+// clipd 400 bodies echo the byte offset and offending token back to the
+// client, so both are part of the parser's contract.
+func TestSyntaxErrorPositions(t *testing.T) {
+	cases := []struct {
+		in     string
+		offset int
+		token  string
+		substr string // required fragment of the rendered message
+	}{
+		{"", 0, "end of input", "expected a geometry keyword"},
+		{"LINESTRING (0 0, 1 1)", 0, "LINESTRING (", "unsupported geometry"},
+		{"POLYGON ((0 0, 1 1", 18, "end of input", `expected ")"`},
+		{"POLYGON (0 0, 1 1)", 9, "0 0, 1 1)", `expected "("`},
+		{"POLYGON ((a b, c d))", 10, "a b, c d))", "expected a number"},
+		{"POLYGON ((0 0, 1 1, 1e999 0))", 20, "1e999", "bad number"},
+		{"MULTIPOLYGON ((0 0))", 15, "0 0))", `expected "("`},
+	}
+	for _, tc := range cases {
+		_, err := Unmarshal(tc.in)
+		if err == nil {
+			t.Errorf("%q: expected error", tc.in)
+			continue
+		}
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Errorf("%q: error %v is not a *SyntaxError", tc.in, err)
+			continue
+		}
+		if se.Offset != tc.offset {
+			t.Errorf("%q: offset %d, want %d (%v)", tc.in, se.Offset, tc.offset, err)
+		}
+		if se.Token != tc.token {
+			t.Errorf("%q: token %q, want %q", tc.in, se.Token, tc.token)
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%q: message %q does not contain %q", tc.in, err.Error(), tc.substr)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("byte %d", tc.offset)) {
+			t.Errorf("%q: message %q does not name byte %d", tc.in, err.Error(), tc.offset)
 		}
 	}
 }

@@ -120,6 +120,13 @@ type Options struct {
 	// failure (panic or failed audit) surfaces directly instead of being
 	// retried on a coarser grid or a different engine.
 	NoFallback bool
+	// Degraded restricts the fallback chain to its cheap tail — the
+	// coarse-grid and sequential/non-parallel steps — and forces
+	// single-threaded execution. It is the load-shedding mode of the clipd
+	// service: overflow traffic is served at reduced fidelity and bounded
+	// cost instead of being dropped. Attempt names in Stats.Resilience
+	// still identify the steps taken (e.g. "overlay-coarse:ok").
+	Degraded bool
 }
 
 // Stats reports phase timings, the engine that produced the accepted result

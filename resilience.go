@@ -249,6 +249,14 @@ func runAttempt(ctx context.Context, at attempt) (out Polygon, st *Stats, err er
 // registry, filtering steps by fill-rule capability. A primary step whose
 // engine does not implement the requested rule is a typed *ClipError wrapping
 // ErrUnsupported — the registry never silently swaps strategies.
+//
+// With opt.Degraded the chain is restricted to its cheap tail — steps that
+// run on the coarse grid, are pinned sequential, or whose engine is not
+// parallel — and every surviving step is forced single-threaded. altOnly
+// steps are always candidates in degraded mode (they are exactly the
+// sequential backfills). When capability filtering leaves no degraded step,
+// the request is typed ErrUnsupported rather than silently served at full
+// cost.
 func attemptChain(subject, clip Polygon, op Op, opt Options) ([]attempt, error) {
 	steps, ok := chains[opt.Algorithm]
 	if !ok {
@@ -259,22 +267,25 @@ func attemptChain(subject, clip Polygon, op Op, opt Options) ([]attempt, error) 
 	dropped := false
 	for i, stp := range steps {
 		e := engine.MustGet(stp.engine)
+		if opt.Degraded && !(stp.coarse || stp.seq || !e.Capabilities().Parallel) {
+			continue
+		}
 		if !e.Capabilities().Rules.Has(opt.Rule) {
-			if i == 0 {
+			if i == 0 && !opt.Degraded {
 				err := &engine.UnsupportedError{Engine: stp.engine, Rule: opt.Rule}
 				return nil, &guard.ClipError{Stage: "select", Slab: -1, Pair: guard.NoPair, Value: err, Err: err}
 			}
 			dropped = true
 			continue
 		}
-		if stp.altOnly && !dropped {
+		if stp.altOnly && !dropped && !opt.Degraded {
 			continue
 		}
 		eopt := engine.Options{
 			Threads: opt.Threads, Slabs: opt.Slabs,
 			Rule: opt.Rule, NoFallback: opt.NoFallback,
 		}
-		if stp.seq {
+		if stp.seq || opt.Degraded {
 			eopt.Threads = 1
 		}
 		if stp.coarse {
@@ -285,6 +296,10 @@ func attemptChain(subject, clip Polygon, op Op, opt Options) ([]attempt, error) 
 			return res.Polygon, res.Stats, err
 		}
 		out = append(out, attempt{name: stp.name, engine: stp.engine, run: run})
+	}
+	if len(out) == 0 {
+		err := &engine.UnsupportedError{Engine: steps[0].engine, Rule: opt.Rule}
+		return nil, &guard.ClipError{Stage: "select", Slab: -1, Pair: guard.NoPair, Value: err, Err: err}
 	}
 	return out, nil
 }

@@ -332,3 +332,109 @@ func TestScanbeamAndSequentialChains(t *testing.T) {
 		}
 	}
 }
+
+// TestChainTableDepth pins the declarative chain table's shape: under
+// capability filtering — including the altOnly backfill paths — every
+// supported Algorithm/rule combination resolves to a chain exactly three
+// attempts deep, and an unsupported primary is a typed ErrUnsupported. The
+// serve layer's degraded mode budgets on this depth.
+func TestChainTableDepth(t *testing.T) {
+	sq := rect(0, 0, 4, 4)
+	cases := []struct {
+		algo  Algorithm
+		rule  FillRule
+		names []string // nil means expect ErrUnsupported
+	}{
+		{AlgoOverlay, EvenOdd, []string{"overlay", "overlay-coarse", "vatti"}},
+		{AlgoSlabs, EvenOdd, []string{"slabs", "overlay-coarse", "vatti"}},
+		{AlgoScanbeam, EvenOdd, []string{"scanbeam", "overlay-coarse", "vatti"}},
+		{AlgoSequential, EvenOdd, []string{"vatti", "overlay", "overlay-coarse"}},
+		// NonZero: only the overlay engine qualifies, so vatti is dropped
+		// and the altOnly overlay-seq step backfills the third slot.
+		{AlgoOverlay, NonZero, []string{"overlay", "overlay-coarse", "overlay-seq"}},
+		{AlgoSlabs, NonZero, nil},
+		{AlgoScanbeam, NonZero, nil},
+		{AlgoSequential, NonZero, nil},
+	}
+	for _, tc := range cases {
+		chain, err := attemptChain(sq, sq, Intersection, Options{Algorithm: tc.algo, Rule: tc.rule})
+		if tc.names == nil {
+			if !errors.Is(err, ErrUnsupported) {
+				t.Errorf("algo %d rule %v: err = %v, want ErrUnsupported", tc.algo, tc.rule, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("algo %d rule %v: %v", tc.algo, tc.rule, err)
+			continue
+		}
+		if len(chain) != 3 {
+			t.Errorf("algo %d rule %v: chain depth %d, want 3", tc.algo, tc.rule, len(chain))
+		}
+		for i, want := range tc.names {
+			if i >= len(chain) {
+				break
+			}
+			if chain[i].name != want {
+				t.Errorf("algo %d rule %v: attempt %d is %q, want %q", tc.algo, tc.rule, i, chain[i].name, want)
+			}
+		}
+	}
+}
+
+// TestChainTableDegraded pins the degraded-mode restriction: only the
+// coarse-grid and sequential/non-parallel steps survive, altOnly backfills
+// are always candidates, and unsupported-by-every-step combinations are a
+// typed ErrUnsupported.
+func TestChainTableDegraded(t *testing.T) {
+	sq := rect(0, 0, 4, 4)
+	cases := []struct {
+		algo  Algorithm
+		rule  FillRule
+		names []string
+	}{
+		{AlgoOverlay, EvenOdd, []string{"overlay-coarse", "vatti", "overlay-seq"}},
+		{AlgoSlabs, EvenOdd, []string{"overlay-coarse", "vatti", "overlay-seq"}},
+		{AlgoSequential, EvenOdd, []string{"vatti", "overlay-coarse"}},
+		{AlgoOverlay, NonZero, []string{"overlay-coarse", "overlay-seq"}},
+	}
+	for _, tc := range cases {
+		chain, err := attemptChain(sq, sq, Intersection, Options{Algorithm: tc.algo, Rule: tc.rule, Degraded: true})
+		if err != nil {
+			t.Errorf("algo %d rule %v: %v", tc.algo, tc.rule, err)
+			continue
+		}
+		var names []string
+		for _, at := range chain {
+			names = append(names, at.name)
+		}
+		if strings.Join(names, " ") != strings.Join(tc.names, " ") {
+			t.Errorf("algo %d rule %v: degraded chain %v, want %v", tc.algo, tc.rule, names, tc.names)
+		}
+	}
+}
+
+// TestClipCtxDegraded runs a real degraded clip: the result must be
+// correct, and the accepted attempt must be one of the degraded steps so
+// service metrics can prove degraded mode engaged.
+func TestClipCtxDegraded(t *testing.T) {
+	a := rect(0, 0, 4, 4)
+	b := rect(2, 2, 6, 6)
+	out, st, err := ClipCtx(context.Background(), a, b, Intersection, Options{Degraded: true})
+	if err != nil {
+		t.Fatalf("degraded clip: %v", err)
+	}
+	if got := out.Area(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("area = %v, want 4", got)
+	}
+	if len(st.Resilience.Attempts) == 0 {
+		t.Fatal("no attempts recorded")
+	}
+	first := st.Resilience.Attempts[0]
+	if !strings.HasPrefix(first, "overlay-coarse:") {
+		t.Errorf("first degraded attempt = %q, want an overlay-coarse step", first)
+	}
+	if st.Engine == "" {
+		t.Error("Stats.Engine not recorded for degraded clip")
+	}
+}

@@ -1,0 +1,115 @@
+#!/bin/sh
+# Reproduce BENCH_clipd.json: serve-layer throughput/latency under open-loop
+# load. Three runs against a real clipd process over loopback HTTP:
+#
+#   baseline  - default capacity, two arrival rates (the >=2 concurrency
+#               levels), plus a misbehaving-client phase (slow bodies, junk
+#               geometry, mid-flight cancels);
+#   overload  - deliberately tiny capacity so admission control must engage:
+#               degraded-chain service and 503+Retry-After shedding, with
+#               mode engage/disengage checked via /healthz;
+#   faults    - clipd -chaos cycles injected panics/hangs/corruptions through
+#               the serve and engine guard sites while load runs: the process
+#               must survive with bounded p99 and no shed-without-Retry-After.
+#
+# Deterministic inputs (fixed seeds); timings vary with the host.
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT="${CLIPD_PORT:-18091}"
+URL="http://127.0.0.1:$PORT"
+DUR="${CLIPD_BENCH_DUR:-4s}"
+OUT="${CLIPD_BENCH_OUT:-BENCH_clipd.json}"
+TMP=$(mktemp -d)
+trap 'kill $PID 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/clipd" ./cmd/clipd
+go build -o "$TMP/clipload" ./cmd/clipload
+
+wait_up() {
+	for _ in $(seq 1 50); do
+		if curl -sf "$URL/healthz" >/dev/null 2>&1; then return 0; fi
+		sleep 0.1
+	done
+	echo "clipd did not come up on $URL" >&2
+	exit 1
+}
+
+echo "== baseline (default capacity, rates 100 and 400 req/s)" >&2
+"$TMP/clipd" -addr "127.0.0.1:$PORT" -seed 1 2>/dev/null &
+PID=$!
+wait_up
+"$TMP/clipload" -url "$URL" -rates 100,400 -duration "$DUR" -seed 42 -label baseline >"$TMP/baseline.json"
+"$TMP/clipload" -url "$URL" -rates 200 -duration "$DUR" -seed 43 -misbehave 0.2 -label misbehaving >"$TMP/misbehaving.json"
+curl -s "$URL/statz" >"$TMP/baseline_statz.json"
+kill $PID && wait $PID 2>/dev/null || true
+
+echo "== overload (queue 4, 2 work slots, 1 degraded slot, 800 req/s)" >&2
+"$TMP/clipd" -addr "127.0.0.1:$PORT" -seed 1 -queue 4 -max-concurrent 2 -degraded-slots 1 \
+	-degraded-hold 500ms -threads 1 2>/dev/null &
+PID=$!
+wait_up
+"$TMP/clipload" -url "$URL" -rates 800 -duration "$DUR" -seed 44 -verts 256 -label overload >"$TMP/overload.json"
+MODE_DURING=$(curl -s "$URL/healthz" | sed -n 's/.*"mode":"\([a-z]*\)".*/\1/p')
+curl -s "$URL/statz" >"$TMP/overload_statz.json"
+sleep 1
+MODE_AFTER=$(curl -s "$URL/healthz" | sed -n 's/.*"mode":"\([a-z]*\)".*/\1/p')
+kill $PID && wait $PID 2>/dev/null || true
+
+echo "== faults (clipd -chaos 50ms, 200 req/s, 20% misbehaving clients)" >&2
+"$TMP/clipd" -addr "127.0.0.1:$PORT" -seed 1 -chaos 50ms -timeout 1s 2>/dev/null &
+PID=$!
+wait_up
+"$TMP/clipload" -url "$URL" -rates 200 -duration "$DUR" -seed 45 -misbehave 0.2 -label faults >"$TMP/faults.json"
+ALIVE=false
+curl -sf "$URL/healthz" >/dev/null 2>&1 && ALIVE=true
+curl -s "$URL/statz" >"$TMP/faults_statz.json"
+kill $PID && wait $PID 2>/dev/null || true
+
+MODE_DURING="$MODE_DURING" MODE_AFTER="$MODE_AFTER" ALIVE="$ALIVE" TMP="$TMP" OUT="$OUT" python3 - <<'EOF'
+import json, os, platform
+
+tmp, out = os.environ["TMP"], os.environ["OUT"]
+load = lambda n: json.load(open(os.path.join(tmp, n)))
+doc = {
+    "benchmark": "clipd serving layer (open-loop load over loopback HTTP)",
+    "host": {"platform": platform.platform(), "machine": platform.machine()},
+    "runs": {
+        "baseline":    {"load": load("baseline.json"),    "statz": load("baseline_statz.json")},
+        "misbehaving": {"load": load("misbehaving.json"), "statz": load("baseline_statz.json")},
+        "overload":    {"load": load("overload.json"),    "statz": load("overload_statz.json"),
+                        "modeDuringBurst": os.environ["MODE_DURING"],
+                        "modeAfterQuiesce": os.environ["MODE_AFTER"]},
+        "faults":      {"load": load("faults.json"),      "statz": load("faults_statz.json"),
+                        "serverAliveAfter": os.environ["ALIVE"] == "true"},
+    },
+}
+
+# Contract checks: the benchmark doubles as an acceptance gate.
+fails = []
+ov = doc["runs"]["overload"]
+if ov["statz"]["degradedServed"] == 0:
+    fails.append("overload run served nothing through the degraded chain")
+if ov["statz"]["shed"] == 0:
+    fails.append("overload run shed nothing (capacity not saturated)")
+if ov["modeAfterQuiesce"] != "normal":
+    fails.append("degraded mode did not disengage after the burst")
+for name, run in doc["runs"].items():
+    for ph in run["load"]["phases"]:
+        if ph["shedMissingRetryAfter"]:
+            fails.append(f"{name}: {ph['shedMissingRetryAfter']} shed responses missing Retry-After")
+        if ph["transportErrors"]:
+            fails.append(f"{name}: {ph['transportErrors']} requests dropped without an HTTP answer")
+fa = doc["runs"]["faults"]
+if not fa["serverAliveAfter"]:
+    fails.append("clipd died during the fault-injection run")
+if fa["load"]["phases"][0]["p99Ms"] > 3000:
+    fails.append("fault-injection p99 exceeds the bounded-tail contract")
+doc["contract"] = {"violations": fails, "pass": not fails}
+
+json.dump(doc, open(out, "w"), indent=2)
+print(("PASS" if not fails else "FAIL") + f": wrote {out}")
+for f in fails:
+    print("  violation: " + f)
+raise SystemExit(1 if fails else 0)
+EOF

@@ -18,9 +18,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== coverage floor (vatti, arrange, engine, scanbeam >= ${COVER_FLOOR:-80}%)"
+echo "== coverage floor (vatti, arrange, engine, scanbeam, serve >= ${COVER_FLOOR:-80}%)"
 COVER_FLOOR="${COVER_FLOOR:-80}"
-for pkg in ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/; do
+for pkg in ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/; do
 	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
 	if [ -z "$pct" ]; then
 		echo "could not parse coverage for $pkg" >&2
@@ -42,6 +42,12 @@ go test -race -run 'Adversarial|MatchesOrientOracle' ./internal/geom/
 echo "== go test -race"
 go test -race ./...
 
+echo "== serve layer under -race (batcher, admission control, fault sites)"
+go test -race -count=1 ./internal/serve/
+
+echo "== chaos through the server (5s, fixed seed: 0 crashes, every shed = 503 + Retry-After)"
+SERVE_CHAOS_MS=5000 go test -race -count=1 -run TestServeChaosSmoke ./internal/serve/
+
 echo "== differential corpus under -race"
 go test -race -run TestDifferentialCorpus .
 
@@ -55,6 +61,9 @@ for t in FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip FuzzClipAllEngines; do
 	echo "== fuzz $t ($FUZZTIME)"
 	go test -run='^$' -fuzz="^$t\$" -fuzztime="$FUZZTIME" .
 done
+
+echo "== fuzz FuzzServeRequest ($FUZZTIME, whole HTTP serve path)"
+go test -run='^$' -fuzz='^FuzzServeRequest$' -fuzztime="$FUZZTIME" ./internal/serve/
 
 echo "== chaos (seed $CHAOS_SEED, $CHAOS_CASES cases, clean)"
 go run ./cmd/chaos -seed "$CHAOS_SEED" -cases "$CHAOS_CASES"
