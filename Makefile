@@ -3,7 +3,7 @@ FUZZ_TARGETS := FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip FuzzClipAllEngin
 CHAOS_SEED ?= 1
 CHAOS_CASES ?= 200
 COVER_FLOOR ?= 80
-COVER_PKGS := ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/
+COVER_PKGS := ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/ ./internal/core/ ./internal/overlay/
 
 PROFILE_EXP ?= table2
 PROFILE_DIR ?= /tmp/polyclip-prof
@@ -67,11 +67,15 @@ profile:
 
 # Deterministic chaos sweeps: a clean invariant run, a faulted run (every
 # case takes one injected panic/hang/corruption), and a budgeted faulted run
-# that exercises the stage watchdog. Same seed, same cases, same verdict.
+# that exercises the stage watchdog, plus a degenerate-taxonomy sweep
+# (seed 7: exact coincidences — shared edges, collinear overlaps,
+# T-vertices, coincident rings — under every fill rule). Same seed, same
+# cases, same verdict.
 chaos:
 	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases $(CHAOS_CASES)
 	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases $(CHAOS_CASES) -faults
 	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases 60 -faults -budget 500ms
+	go run ./cmd/chaos -seed 7 -cases 320 -family degenerate
 
 # Build the serving daemon.
 clipd:

@@ -146,15 +146,17 @@ func FuzzClipRoundTrip(f *testing.F) {
 }
 
 // FuzzClipAllEngines drives every registered engine through the registry on
-// the same WKT pair and operation: no engine may panic, and all engines that
-// accept the input must agree on the clipped measure. Engines run with
-// NoFallback, so a drifting engine fails by name rather than being silently
-// rescued by a sibling.
+// the same WKT pair, operation, AND fill rule: no engine may panic, engines
+// that decline a rule must do so with the typed ErrUnsupported (none of the
+// built-ins may — they all declare the full rule set), and all engines that
+// accept the input must agree on the clipped measure under that rule.
+// Engines run with NoFallback, so a drifting engine fails by name rather
+// than being silently rescued by a sibling.
 func FuzzClipAllEngines(f *testing.F) {
 	for i, s := range wktSeeds {
-		f.Add(s, wktSeeds[(i+3)%len(wktSeeds)], uint8(i%4))
+		f.Add(s, wktSeeds[(i+3)%len(wktSeeds)], uint8(i%4), uint8(i/4%4))
 	}
-	f.Fuzz(func(t *testing.T, ws, wc string, opByte uint8) {
+	f.Fuzz(func(t *testing.T, ws, wc string, opByte, ruleByte uint8) {
 		subject, err := ParseWKT(ws)
 		if err != nil {
 			return
@@ -167,6 +169,8 @@ func FuzzClipAllEngines(f *testing.F) {
 			return
 		}
 		op := Op(opByte % 4)
+		rules := engine.Rules()
+		rule := rules[int(ruleByte)%len(rules)]
 		scale := guard.MeasureBound(subject) + guard.MeasureBound(clip)
 
 		type outcome struct {
@@ -175,34 +179,35 @@ func FuzzClipAllEngines(f *testing.F) {
 		}
 		var got []outcome
 		for _, e := range engine.All() {
-			if !e.Capabilities().Rules.Has(engine.EvenOdd) {
-				// Declared unsupported under the corpus rule: the conformance
+			if !e.Capabilities().Rules.Has(rule) {
+				// Declared unsupported under the fuzzed rule: the conformance
 				// rule matrix pins the typed rejection; nothing to compare.
 				continue
 			}
 			res, err := e.Clip(context.Background(), subject, clip, op,
-				engine.Options{Threads: 2, NoFallback: true})
+				engine.Options{Threads: 2, Rule: rule, NoFallback: true})
 			if err != nil {
 				// Real errors (overflowing coordinates, guard rejections) are
 				// acceptable; only panics are bugs, and those crash the fuzzer.
 				// A declared-capable engine must never reject with ErrUnsupported.
 				if errors.Is(err, engine.ErrUnsupported) {
-					t.Fatalf("%s: rejected a declared-capable rule: %v", e.Name(), err)
+					t.Fatalf("%s: rejected a declared-capable rule %v: %v", e.Name(), rule, err)
 				}
 				continue
 			}
 			a := Area(res.Polygon)
 			if math.IsNaN(a) || math.IsInf(a, 0) {
-				t.Fatalf("%s: non-finite area (ops %q %v %q)", e.Name(), ws, op, wc)
+				t.Fatalf("%s: non-finite area (ops %q %v %q rule %v)", e.Name(), ws, op, wc, rule)
 			}
 			got = append(got, outcome{e.Name(), a})
 		}
-		// Cross-check: every pair of succeeding engines must agree.
+		// Cross-check: every pair of succeeding engines must agree under the
+		// fuzzed rule.
 		for i := 1; i < len(got); i++ {
 			x, y := got[0], got[i]
 			if math.Abs(x.area-y.area) > 1e-6*math.Max(scale, math.Max(x.area, y.area)) {
-				t.Fatalf("engines disagree: %s area %g vs %s area %g (ops %q %v %q)",
-					x.name, x.area, y.name, y.area, ws, op, wc)
+				t.Fatalf("engines disagree under rule %v: %s area %g vs %s area %g (ops %q %v %q)",
+					rule, x.name, x.area, y.name, y.area, ws, op, wc)
 			}
 		}
 	})

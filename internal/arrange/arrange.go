@@ -35,7 +35,22 @@ import (
 // the result's rings cross only at shared vertices. Inputs that are already
 // resolved are returned unchanged, without copying.
 func Resolve(p geom.Polygon) geom.Polygon {
-	out, changed := resolve([]geom.Polygon{p})
+	out, changed := resolve([]geom.Polygon{p}, false)
+	if !changed {
+		return p
+	}
+	return out[0]
+}
+
+// ResolveWinding is Resolve for winding-rule (NonZero/Positive/Negative)
+// sweeps: edges are split at every intersection and welded onto the shared
+// grid exactly as Resolve does, but self-intersecting operands keep their
+// rebuilt rings with their original directions instead of having the simple
+// even-odd boundary re-extracted. Re-extraction collapses coincident edges
+// by parity, destroying the winding multiplicity a signed-count walk needs;
+// a downstream sweep still meets crossings only at shared exact vertices.
+func ResolveWinding(p geom.Polygon) geom.Polygon {
+	out, changed := resolve([]geom.Polygon{p}, true)
 	if !changed {
 		return p
 	}
@@ -49,7 +64,18 @@ func Resolve(p geom.Polygon) geom.Polygon {
 // shared exact vertices. Operand pairs that only touch at shared vertices
 // (or not at all) are returned unchanged, without copying.
 func ResolvePair(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
-	out, changed := resolve([]geom.Polygon{a, b})
+	out, changed := resolve([]geom.Polygon{a, b}, false)
+	if !changed {
+		return a, b
+	}
+	return out[0], out[1]
+}
+
+// ResolvePairWinding is ResolvePair for winding-rule sweeps: joint
+// split-and-weld with ring directions preserved (no even-odd re-extraction of
+// self-intersecting operands — see ResolveWinding).
+func ResolvePairWinding(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
+	out, changed := resolve([]geom.Polygon{a, b}, true)
 	if !changed {
 		return a, b
 	}
@@ -57,9 +83,11 @@ func ResolvePair(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
 }
 
 // resolve is the shared implementation: ops is one polygon (Resolve) or an
-// operand pair (ResolvePair). The boolean reports whether anything changed;
+// operand pair (ResolvePair). winding keeps the rebuilt rings of
+// self-intersecting operands directed as given instead of re-extracting
+// their even-odd boundary. The boolean reports whether anything changed;
 // when false the caller keeps its originals and no allocation is retained.
-func resolve(ops []geom.Polygon) ([]geom.Polygon, bool) {
+func resolve(ops []geom.Polygon, winding bool) ([]geom.Polygon, bool) {
 	// Flatten every ring of every operand into one edge soup, remembering
 	// which operand each edge belongs to so self-intersection is detected
 	// per operand.
@@ -211,10 +239,14 @@ func resolve(ops []geom.Polygon) ([]geom.Polygon, bool) {
 
 	// Re-extract the simple even-odd boundary of operands whose own edges
 	// cross or overlap; operands that were only split by the other operand
-	// keep their rebuilt rings (same rings, more vertices).
-	for oi := range out {
-		if selfX[oi] {
-			out[oi] = extractEvenOdd(out[oi].Edges())
+	// keep their rebuilt rings (same rings, more vertices). Winding-rule
+	// callers skip re-extraction entirely: the signed-count walk needs the
+	// original ring directions and multiplicities that extraction collapses.
+	if !winding {
+		for oi := range out {
+			if selfX[oi] {
+				out[oi] = extractEvenOdd(out[oi].Edges())
+			}
 		}
 	}
 	return out, true

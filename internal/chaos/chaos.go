@@ -26,6 +26,11 @@ type Config struct {
 	Seed int64
 	// Cases is the number of generated workloads (default 100).
 	Cases int
+	// Family restricts generation to one family group ("adversarial",
+	// "degenerate") or one exact family name ("t-vertex"). Empty runs the
+	// full cycle. An unknown value fails the run rather than silently
+	// testing nothing.
+	Family string
 	// Threads bounds the clip parallelism; <= 0 means 4, not all CPUs: a
 	// stress run must exercise the parallel pipeline (multiple slabs,
 	// worker fan-out, watchdogged stages) even on a single-core host.
@@ -66,9 +71,10 @@ type ResilienceTotals struct {
 
 // Report is the outcome of a chaos run.
 type Report struct {
-	Seed  int64
-	Cases int
-	Clips int
+	Seed   int64
+	Cases  int
+	Family string // family filter of the run; "" = all families
+	Clips  int
 
 	// StructuredErrors counts clips that returned a structured error
 	// (*ClipError, ErrInvalidInput, or a context error) — the acceptable
@@ -105,13 +111,17 @@ func (r *Report) Summary() string {
 	if r.Failed() {
 		verdict = "FAIL"
 	}
+	scope := ""
+	if r.Family != "" {
+		scope = " family=" + r.Family
+	}
 	return fmt.Sprintf(
-		"chaos %s: seed=%d cases=%d clips=%d\n"+
+		"chaos %s: seed=%d cases=%d clips=%d%s\n"+
 			"  invariants: %d checked, %d failed\n"+
 			"  errors: %d structured, %d unstructured, %d crashes\n"+
 			"  faults: %d injected, %d surfaced as errors\n"+
 			"  resilience: repaired=%d fallback-steps=%d recovered=%d stage-timeouts=%d retries=%d audit-failures=%d",
-		verdict, r.Seed, r.Cases, r.Clips,
+		verdict, r.Seed, r.Cases, r.Clips, scope,
 		r.InvariantChecks, r.InvariantFailures,
 		r.StructuredErrors, r.UnstructuredErrors, r.Crashes,
 		r.FaultsInjected, r.FaultsSurfaced,
@@ -120,8 +130,9 @@ func (r *Report) Summary() string {
 }
 
 type engine struct {
-	cfg Config
-	rep *Report
+	cfg  Config
+	gens []generator
+	rep  *Report
 }
 
 // Run executes one chaos run. Cases run sequentially (each clip is
@@ -140,7 +151,14 @@ func Run(cfg Config) *Report {
 	if cfg.MaxFailures <= 0 {
 		cfg.MaxFailures = 20
 	}
-	e := &engine{cfg: cfg, rep: &Report{Seed: cfg.Seed, Cases: cfg.Cases}}
+	e := &engine{cfg: cfg, gens: generatorsFor(cfg.Family), rep: &Report{Seed: cfg.Seed, Cases: cfg.Cases, Family: cfg.Family}}
+	if len(e.gens) == 0 {
+		// A typo'd filter must not report a spotless run over zero cases.
+		e.rep.InvariantFailures++
+		e.record(0, "config", "unknown-family",
+			fmt.Sprintf("family %q matches no generator (groups: %v)", cfg.Family, Families()))
+		return e.rep
+	}
 	for i := 0; i < cfg.Cases; i++ {
 		e.runCase(i)
 	}
@@ -158,7 +176,7 @@ func (e *engine) runCase(i int) {
 			e.record(i, w.name, "panic-escaped", fmt.Sprint(r))
 		}
 	}()
-	w = buildWorkload(e.cfg.Seed, i)
+	w = buildWorkloadFrom(e.cfg.Seed, i, e.gens)
 	errsBefore := e.rep.StructuredErrors
 	if e.cfg.Faults {
 		e.armFault(i, w)

@@ -54,6 +54,91 @@ func TestBudgetedRunBoundsHangs(t *testing.T) {
 	}
 }
 
+// TestDegenerateFamilyRun is the tier-1 slice of the degeneracy acceptance
+// criterion: a fixed-seed run restricted to the Foster–Overfelt taxonomy
+// must find zero contract violations, and must actually draw every
+// degenerate family.
+func TestDegenerateFamilyRun(t *testing.T) {
+	cases := 40
+	if testing.Short() {
+		cases = 10
+	}
+	rep := Run(Config{Seed: 7, Cases: cases, Family: FamilyDegenerate, Log: t.Logf})
+	if rep.Failed() {
+		t.Fatalf("degenerate chaos run failed:\n%s", rep.Summary())
+	}
+	if rep.InvariantChecks == 0 {
+		t.Fatalf("run checked nothing: %s", rep.Summary())
+	}
+	gens := generatorsFor(FamilyDegenerate)
+	if len(gens) < 5 {
+		t.Fatalf("degenerate taxonomy has %d families, want >= 5", len(gens))
+	}
+	for _, g := range gens {
+		if g.family != FamilyDegenerate {
+			t.Errorf("filter leaked family %q (%s)", g.family, g.name)
+		}
+	}
+}
+
+// TestUnknownFamilyFails: a typo'd filter must fail the run, not pass it
+// vacuously over zero cases.
+func TestUnknownFamilyFails(t *testing.T) {
+	rep := Run(Config{Seed: 1, Cases: 5, Family: "degnerate"})
+	if !rep.Failed() {
+		t.Fatalf("unknown family reported a pass:\n%s", rep.Summary())
+	}
+	if len(rep.Failures) != 1 || rep.Failures[0].Invariant != "unknown-family" {
+		t.Fatalf("failures = %+v", rep.Failures)
+	}
+	if rep.Clips != 0 {
+		t.Fatalf("unknown family still ran %d clips", rep.Clips)
+	}
+}
+
+// TestDegenerateWorkloadsAreDegenerate spot-checks that the taxonomy
+// families construct their coincidences exactly: shared edges are
+// bit-identical between operands and T-vertices land on edge interiors.
+func TestDegenerateWorkloadsAreDegenerate(t *testing.T) {
+	gens := generatorsFor(FamilyDegenerate)
+	for i := 0; i < 4*len(gens); i++ {
+		w := buildWorkloadFrom(11, i, gens)
+		if len(w.a) == 0 || len(w.b) == 0 {
+			t.Fatalf("case %d (%s): empty operand", i, w.name)
+		}
+		// Every degenerate operand pair must share at least one exact
+		// coordinate value on a common axis line — the defining property of
+		// constructed (rather than jittered) degeneracy.
+		shared := false
+		for _, ra := range w.a {
+			for _, pa := range ra {
+				for _, rb := range w.b {
+					for _, pb := range rb {
+						if pa.X == pb.X || pa.Y == pb.Y {
+							shared = true
+						}
+					}
+				}
+			}
+		}
+		if !shared {
+			t.Errorf("case %d (%s): no exact coordinate coincidence between operands", i, w.name)
+		}
+	}
+	// coincident-ring: B sometimes repeats A's outer ring verbatim.
+	verbatim := false
+	for i := 0; i < 40; i++ {
+		w := buildWorkloadFrom(11, i, generatorsFor("coincident-ring"))
+		if polyclip.FormatWKT(polyclip.Polygon{w.a[0]}) == polyclip.FormatWKT(w.b) {
+			verbatim = true
+			break
+		}
+	}
+	if !verbatim {
+		t.Error("coincident-ring never produced a verbatim ring copy in 40 draws")
+	}
+}
+
 // TestDeterminism: the same seed must reproduce the identical report.
 func TestDeterminism(t *testing.T) {
 	a := Run(Config{Seed: 7, Cases: 14})

@@ -110,6 +110,37 @@ func (e *engine) checkCase(ci int, w workload) {
 		if sArea, ok := e.areaOf(ci, w, w.a, w.b, w.op, slabs); ok {
 			e.check(ci, w, "cross-engine-slabs", sArea, base, scale)
 		}
+		scanbeam := polyclip.Options{Algorithm: polyclip.AlgoScanbeam, Threads: e.cfg.Threads}
+		if sArea, ok := e.areaOf(ci, w, w.a, w.b, w.op, scanbeam); ok {
+			e.check(ci, w, "cross-engine-scanbeam", sArea, base, scale)
+		}
+	}
+
+	// Per-rule cross-engine agreement. Every engine now hosts every fill
+	// rule (the scanbeam substrate sweeps signed winding counts, the slab
+	// decomposition normalizes winding operands), so for each winding rule
+	// the overlay baseline, the sequential Vatti sweep, the slab engine,
+	// and the parallel scanbeam pipeline must land on the same measure —
+	// on the degenerate families included, where rule disagreements are
+	// exactly where doubled boundaries and dropped slivers hide.
+	for _, rule := range []polyclip.FillRule{polyclip.NonZero, polyclip.Positive, polyclip.Negative} {
+		ruleBase, ok := e.areaOf(ci, w, w.a, w.b, w.op, polyclip.Options{Threads: e.cfg.Threads, Rule: rule})
+		if !ok {
+			continue
+		}
+		alts := []struct {
+			name string
+			opt  polyclip.Options
+		}{
+			{"vatti", polyclip.Options{Algorithm: polyclip.AlgoSequential, Threads: 1, Rule: rule, NoFallback: true}},
+			{"slabs", polyclip.Options{Algorithm: polyclip.AlgoSlabs, Threads: e.cfg.Threads, Rule: rule}},
+			{"scanbeam", polyclip.Options{Algorithm: polyclip.AlgoScanbeam, Threads: e.cfg.Threads, Rule: rule}},
+		}
+		for _, alt := range alts {
+			if aArea, ok := e.areaOf(ci, w, w.a, w.b, w.op, alt.opt); ok {
+				e.check(ci, w, "cross-engine-"+alt.name+"-"+rule.String(), aArea, ruleBase, scale)
+			}
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"polyclip/internal/arrange"
+	"polyclip/internal/engine"
 	"polyclip/internal/geom"
 	"polyclip/internal/isect"
 	"polyclip/internal/par"
@@ -41,6 +42,14 @@ func AlgorithmOne(a, b geom.Polygon, op Op, p int) (geom.Polygon, Alg1Report) {
 // ctx the returned polygon is nil; callers observe the cancellation via
 // ctx.Err().
 func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom.Polygon, Alg1Report) {
+	return AlgorithmOneRuleCtx(ctx, a, b, op, engine.EvenOdd, p)
+}
+
+// AlgorithmOneRuleCtx is AlgorithmOneCtx under an explicit fill rule: the
+// shared scanbeam walk accumulates signed winding counts, so EvenOdd,
+// NonZero, Positive and Negative all run through the same parallel beam
+// pipeline.
+func AlgorithmOneRuleCtx(ctx context.Context, a, b geom.Polygon, op Op, rule engine.FillRule, p int) (geom.Polygon, Alg1Report) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -50,44 +59,15 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 	var rep Alg1Report
 	rep.N = a.NumVertices() + b.NumVertices()
 
-	type owned struct {
-		seg   geom.Segment
-		owner uint8
-	}
-	collect := func(pa, pb geom.Polygon) []owned {
-		var edges []owned
-		add := func(poly geom.Polygon, owner uint8) {
-			for _, r := range poly {
-				n := len(r)
-				if n < 3 {
-					continue
-				}
-				for i := 0; i < n; i++ {
-					p1, p2 := r[i], r[(i+1)%n]
-					if p1.Y == p2.Y {
-						continue // horizontal: regenerated as caps, see vatti pkg
-					}
-					if p1.Y > p2.Y {
-						p1, p2 = p2, p1
-					}
-					edges = append(edges, owned{geom.Segment{A: p1, B: p2}, owner})
-				}
-			}
-		}
-		add(pa, 0)
-		add(pb, 1)
-		return edges
-	}
-
 	// Step 3.2 (Lemma 4): the paper's k is a property of the raw input, so
 	// count the inversion crossings before resolution.
-	rawEdges := collect(a, b)
+	rawEdges := scanbeam.CollectEdges(a, b)
 	if len(rawEdges) == 0 {
 		return nil, rep
 	}
 	rawSegs := make([]geom.Segment, len(rawEdges))
 	for i, e := range rawEdges {
-		rawSegs[i] = e.seg
+		rawSegs[i] = e.Seg
 	}
 	rep.K = int(isect.CountCrossings(rawSegs, p))
 	if canceled(ctx) {
@@ -95,11 +75,17 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 	}
 
 	// Pre-resolve the arrangement (see internal/arrange): crossings become
-	// shared welded vertices and self-intersecting operands are rewritten
-	// as simple even-odd rings, so the event schedule below needs only the
+	// shared welded vertices, so the event schedule below needs only the
 	// endpoint ys and no two active edges cross strictly inside a beam.
-	a, b = arrange.ResolvePair(a, b)
-	edges := collect(a, b)
+	// EvenOdd additionally rewrites self-intersecting operands as simple
+	// even-odd rings; the winding rules keep the split rings directed as
+	// given so the signed-count walk sees the original multiplicities.
+	if rule == engine.EvenOdd {
+		a, b = arrange.ResolvePair(a, b)
+	} else {
+		a, b = arrange.ResolvePairWinding(a, b)
+	}
+	edges := scanbeam.CollectEdges(a, b)
 	if len(edges) == 0 {
 		return nil, rep
 	}
@@ -107,7 +93,7 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 	// Step 1: event schedule (endpoint ys of the resolved edges), sorted.
 	ys := make([]float64, 0, 2*len(edges))
 	for _, e := range edges {
-		ys = append(ys, e.seg.A.Y, e.seg.B.Y)
+		ys = append(ys, e.Seg.A.Y, e.Seg.B.Y)
 	}
 	ys = segtree.Dedup(ys)
 	if len(ys) < 2 {
@@ -117,7 +103,7 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 
 	// Step 2: populate scanbeams through the parallel segment tree.
 	tree := segtree.Build(ys, len(edges), func(i int32) segtree.Interval {
-		lo, hi := edges[i].seg.YSpan()
+		lo, hi := edges[i].Seg.YSpan()
 		return segtree.Interval{Lo: lo, Hi: hi}
 	}, p)
 	beams, kprime := tree.AllBeams(p)
@@ -127,8 +113,9 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 	// Step 3: per-beam classification and trapezoid emission, in parallel.
 	// The ordering buffers come from the shared scanbeam pool: the beam loop
 	// runs concurrently, so scratches are pooled rather than shared.
-	edgeAt := func(id int32) (geom.Segment, uint8) {
-		return edges[id].seg, edges[id].owner
+	edgeAt := func(id int32) (geom.Segment, uint8, int8) {
+		e := &edges[id]
+		return e.Seg, e.Owner, e.Delta
 	}
 	perBeam := make([][]vatti.Trapezoid, len(beams))
 	par.ForEachItem(len(beams), p, func(bi int) {
@@ -141,7 +128,7 @@ func AlgorithmOneCtx(ctx context.Context, a, b geom.Polygon, op Op, p int) (geom
 		}
 		scratch := scanbeam.Get()
 		var out []vatti.Trapezoid
-		scanbeam.BeamTrapezoids(scratch, ids, ys[bi], ys[bi+1], op, edgeAt, &out)
+		scanbeam.BeamTrapezoids(scratch, ids, ys[bi], ys[bi+1], op, rule, edgeAt, &out)
 		scanbeam.Put(scratch)
 		perBeam[bi] = out
 	})

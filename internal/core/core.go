@@ -21,6 +21,8 @@ package core
 import (
 	"context"
 	"errors"
+
+	"polyclip/internal/arrange"
 	"sync/atomic"
 	"time"
 
@@ -286,6 +288,23 @@ func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (ge
 	}
 	st := &Stats{}
 	snapEps := geom.AutoSnapEps(a, b)
+	// Decompose the resolved, snapped pair — the same pre-pass every other
+	// engine's sweep starts from — not the raw operands. Two alignments
+	// must hold at once. First, the quantization ORDER must match the rest
+	// of the registry: joint pair resolution (split at every intersection,
+	// weld onto the shared grid, re-extract self-crossing operands) and
+	// only then the grid snap; snapping raw geometry first collapses
+	// sub-grid rings that the resolve pipeline would have re-extracted,
+	// and the result measurably diverges from the other engines on
+	// coarse-grid (mixed-extent) pairs. Second, slab cuts are placed at
+	// event ys and each slab host re-snaps its band onto this same grid —
+	// after this pre-pass every event y is a grid value (so cut lines and
+	// the caps they produce quantize identically in adjacent hosts) and
+	// every cut still passes exactly through the vertices that generated
+	// it, which seam cancellation in the merge relies on.
+	a, b = arrange.ResolvePair(a, b)
+	a = geom.SnapPolygon(a, snapEps)
+	b = geom.SnapPolygon(b, snapEps)
 	eng := slabEngine(opt)
 
 	// Step 1–2: event schedule.
@@ -308,7 +327,7 @@ func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (ge
 		return out, st, ctx.Err()
 	}
 
-	bounds := slabBoundaries(ys, nslabs, opt.Partition)
+	bounds := pruneThinSlabs(slabBoundaries(ys, nslabs, opt.Partition), snapEps)
 	ns := len(bounds) - 1
 	st.Slabs = ns
 	if ns <= 1 {
@@ -447,6 +466,31 @@ func eventYs(a, b geom.Polygon, p int) []float64 {
 		}
 	}
 	return out
+}
+
+// pruneThinSlabs drops interior slab boundaries that would leave a slab
+// thinner than two cells of the pair's shared snap grid. A sub-cell slab
+// cannot survive the per-slab snap rounding: its operands collapse or
+// fatten by a full cell inside the slab host, and the drift survives the
+// merge as a measurable area error (event ys of a degenerate sliver
+// operand can sit arbitrarily close together while the pair grid — sized
+// by the full extent — is far coarser). Boundaries are only ever dropped,
+// never moved: event-mode cuts pass exactly through input vertices, and
+// shifting one onto the grid would slice edges a fraction of a cell away
+// from the vertex, leaving near-degenerate caps that adjacent slab hosts
+// weld inconsistently.
+func pruneThinSlabs(bounds []float64, eps float64) []float64 {
+	if eps <= 0 || len(bounds) <= 2 {
+		return bounds
+	}
+	hi := bounds[len(bounds)-1]
+	out := bounds[:1]
+	for _, v := range bounds[1 : len(bounds)-1] {
+		if v-out[len(out)-1] >= 2*eps && hi-v >= 2*eps {
+			out = append(out, v)
+		}
+	}
+	return append(out, hi)
 }
 
 // slabBoundaries picks ns+1 boundaries over the sorted event ys.

@@ -3,9 +3,32 @@ package core
 import (
 	"context"
 
+	"polyclip/internal/arrange"
 	"polyclip/internal/engine"
 	"polyclip/internal/geom"
+	"polyclip/internal/vatti"
 )
+
+// normalizePairRule reduces both operands to the simple polygons covering
+// their rule-regions: a winding-aware union of each operand against
+// nothing. The result's point set is identical under every fill rule, so
+// the even-odd slab pipeline downstream computes the winding-rule answer
+// exactly. EvenOdd operands pass through untouched — the slab pipeline
+// handles them natively.
+//
+// The operands are first welded jointly onto the pair's shared snap grid
+// (ResolvePairWinding). Resolving each operand in isolation would pick a
+// grid from that operand's own extent; when the extents differ by many
+// orders of magnitude the lone-operand arrangement diverges from the pair
+// arrangement every other engine sweeps, and the slab result drifts
+// outside the cross-engine agreement tolerance.
+func normalizePairRule(a, b geom.Polygon, rule engine.FillRule) (geom.Polygon, geom.Polygon) {
+	if rule == engine.EvenOdd {
+		return a, b
+	}
+	ra, rb := arrange.ResolvePairWinding(a, b)
+	return vatti.ClipRule(ra, nil, engine.Union, rule), vatti.ClipRule(rb, nil, engine.Union, rule)
+}
 
 // slabsEngine adapts the multi-threaded Algorithm 2 slab decomposition
 // (ClipPairCtx) to the engine registry. It is not itself slab-hostable — a
@@ -17,16 +40,21 @@ func (slabsEngine) Name() string { return "slabs" }
 
 func (slabsEngine) Capabilities() engine.Capabilities {
 	return engine.Capabilities{
-		Rules:       engine.RuleMask(engine.EvenOdd),
+		Rules:       engine.AllRules(),
 		Cancellable: true,
 		Parallel:    true,
 	}
 }
 
+// Clip runs the slab decomposition. The per-slab clipper (bandclip chain
+// pairing) is inherently parity-based, so winding rules are handled by
+// normalizing each operand to its rule-region first (see normalizePairRule)
+// — after which the even-odd slab pipeline is exact for the requested rule.
 func (e slabsEngine) Clip(ctx context.Context, a, b geom.Polygon, op engine.Op, opt engine.Options) (engine.Result, error) {
 	if err := engine.CheckRule(e, opt.Rule); err != nil {
 		return engine.Result{}, err
 	}
+	a, b = normalizePairRule(a, b, opt.Rule)
 	out, st, err := ClipPairCtx(ctx, a, b, op, Options{
 		Threads: opt.Threads, Slabs: opt.Slabs, NoFallback: opt.NoFallback,
 	})
@@ -41,7 +69,7 @@ func (scanbeamEngine) Name() string { return "scanbeam" }
 
 func (scanbeamEngine) Capabilities() engine.Capabilities {
 	return engine.Capabilities{
-		Rules:       engine.RuleMask(engine.EvenOdd),
+		Rules:       engine.AllRules(),
 		Cancellable: true,
 		Parallel:    true,
 	}
@@ -54,7 +82,7 @@ func (e scanbeamEngine) Clip(ctx context.Context, a, b geom.Polygon, op engine.O
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out, _ := AlgorithmOneCtx(ctx, a, b, op, opt.Threads)
+	out, _ := AlgorithmOneRuleCtx(ctx, a, b, op, opt.Rule, opt.Threads)
 	if err := ctx.Err(); err != nil {
 		return engine.Result{}, err
 	}

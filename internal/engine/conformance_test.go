@@ -87,48 +87,106 @@ func TestConformanceGoldenCorpus(t *testing.T) {
 	}
 }
 
+// reverse returns p with every ring's direction flipped (CCW <-> CW).
+func reverse(p geom.Polygon) geom.Polygon {
+	out := make(geom.Polygon, len(p))
+	for i, r := range p {
+		nr := make(geom.Ring, len(r))
+		for j := range r {
+			nr[j] = r[len(r)-1-j]
+		}
+		out[i] = nr
+	}
+	return out
+}
+
 // TestConformanceRuleMatrix drives every registered engine through the full
-// fill-rule x operation matrix on a winding-sensitive input (two
-// same-direction overlapping rings, whose region differs between EvenOdd and
-// NonZero). Supported combinations must produce the analytic area; declared
-// unsupported rules must be rejected with ErrUnsupported for every operation
-// — never served silently.
+// fill-rule x operation matrix on winding-sensitive inputs (two
+// same-direction overlapping rings, in both orientations, whose region
+// differs between every pair of rules). Supported combinations must produce
+// the analytic area; declared unsupported rules must be rejected with
+// ErrUnsupported for every operation — never served silently.
 func TestConformanceRuleMatrix(t *testing.T) {
-	subject := geom.Polygon{
+	// Both rings CCW: winding +1 each, +2 on the overlap square.
+	ccwSubject := geom.Polygon{
 		{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}},
 		{{X: 2, Y: 2}, {X: 6, Y: 2}, {X: 6, Y: 6}, {X: 2, Y: 6}},
 	}
-	frame := geom.RectPolygon(-1, -1, 7, 7) // area 64, contains the subject
-	want := map[engine.FillRule]map[engine.Op]float64{
-		// EvenOdd: the doubly-covered overlap square is a hole; region = 24.
-		engine.EvenOdd: {
-			engine.Intersection: 24, engine.Union: 64,
-			engine.Difference: 0, engine.Xor: 40,
+	ccwFrame := geom.RectPolygon(-1, -1, 7, 7) // area 64, contains the subject
+	scenarios := []struct {
+		name          string
+		subject, clip geom.Polygon
+		want          map[engine.FillRule]map[engine.Op]float64
+	}{
+		{
+			name: "ccw", subject: ccwSubject, clip: ccwFrame,
+			want: map[engine.FillRule]map[engine.Op]float64{
+				// EvenOdd: the doubly-covered overlap square is a hole; region = 24.
+				engine.EvenOdd: {
+					engine.Intersection: 24, engine.Union: 64,
+					engine.Difference: 0, engine.Xor: 40,
+				},
+				// NonZero: same-direction overlap stays interior; region = 28.
+				engine.NonZero: {
+					engine.Intersection: 28, engine.Union: 64,
+					engine.Difference: 0, engine.Xor: 36,
+				},
+				// Positive: all winding is positive, so Positive == NonZero.
+				engine.Positive: {
+					engine.Intersection: 28, engine.Union: 64,
+					engine.Difference: 0, engine.Xor: 36,
+				},
+				// Negative: nothing winds below zero — both operands are empty.
+				engine.Negative: {
+					engine.Intersection: 0, engine.Union: 0,
+					engine.Difference: 0, engine.Xor: 0,
+				},
+			},
 		},
-		// NonZero: same-direction overlap stays interior; region = 28.
-		engine.NonZero: {
-			engine.Intersection: 28, engine.Union: 64,
-			engine.Difference: 0, engine.Xor: 36,
+		{
+			// Every ring reversed: winding negates, so Positive and Negative
+			// swap while the sign-blind rules are unchanged.
+			name: "cw", subject: reverse(ccwSubject), clip: reverse(ccwFrame),
+			want: map[engine.FillRule]map[engine.Op]float64{
+				engine.EvenOdd: {
+					engine.Intersection: 24, engine.Union: 64,
+					engine.Difference: 0, engine.Xor: 40,
+				},
+				engine.NonZero: {
+					engine.Intersection: 28, engine.Union: 64,
+					engine.Difference: 0, engine.Xor: 36,
+				},
+				engine.Positive: {
+					engine.Intersection: 0, engine.Union: 0,
+					engine.Difference: 0, engine.Xor: 0,
+				},
+				engine.Negative: {
+					engine.Intersection: 28, engine.Union: 64,
+					engine.Difference: 0, engine.Xor: 36,
+				},
+			},
 		},
 	}
-	for _, e := range engine.All() {
-		caps := e.Capabilities()
-		for _, rule := range engine.Rules() {
-			for _, op := range engine.Ops() {
-				res, err := e.Clip(context.Background(), subject, frame, op,
-					engine.Options{Threads: 2, Rule: rule, NoFallback: true})
-				if !caps.Rules.Has(rule) {
-					if !errors.Is(err, engine.ErrUnsupported) {
-						t.Errorf("%s %s/%s: err = %v, want ErrUnsupported", e.Name(), rule, op, err)
+	for _, sc := range scenarios {
+		for _, e := range engine.All() {
+			caps := e.Capabilities()
+			for _, rule := range engine.Rules() {
+				for _, op := range engine.Ops() {
+					res, err := e.Clip(context.Background(), sc.subject, sc.clip, op,
+						engine.Options{Threads: 2, Rule: rule, NoFallback: true})
+					if !caps.Rules.Has(rule) {
+						if !errors.Is(err, engine.ErrUnsupported) {
+							t.Errorf("%s %s %s/%s: err = %v, want ErrUnsupported", sc.name, e.Name(), rule, op, err)
+						}
+						continue
 					}
-					continue
-				}
-				if err != nil {
-					t.Errorf("%s %s/%s: %v", e.Name(), rule, op, err)
-					continue
-				}
-				if got := res.Polygon.Area(); math.Abs(got-want[rule][op]) > 1e-6 {
-					t.Errorf("%s %s/%s: area = %g, want %g", e.Name(), rule, op, got, want[rule][op])
+					if err != nil {
+						t.Errorf("%s %s %s/%s: %v", sc.name, e.Name(), rule, op, err)
+						continue
+					}
+					if got := res.Polygon.Area(); math.Abs(got-sc.want[rule][op]) > 1e-6 {
+						t.Errorf("%s %s %s/%s: area = %g, want %g", sc.name, e.Name(), rule, op, got, sc.want[rule][op])
+					}
 				}
 			}
 		}

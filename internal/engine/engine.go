@@ -74,7 +74,10 @@ func Ops() []Op { return []Op{Intersection, Union, Difference, Xor} }
 // FillRule decides which winding numbers count as interior.
 type FillRule uint8
 
-// Supported fill rules.
+// Supported fill rules. The winding convention is shared by every engine:
+// crossing a downward-directed edge left to right raises the winding number
+// by one, so a counter-clockwise ring winds its interior +1 and a clockwise
+// ring winds it -1.
 const (
 	// EvenOdd (default): a point is inside when its crossing parity is odd
 	// — the rule of GPC and of the paper's self-intersection handling.
@@ -82,14 +85,27 @@ const (
 	// NonZero: a point is inside when its winding number is nonzero — the
 	// rule of most vector graphics models.
 	NonZero
+	// Positive: a point is inside when its winding number is strictly
+	// positive — counter-clockwise rings enclose, clockwise rings do not
+	// (the OGC/SVG "positive" rule).
+	Positive
+	// Negative: a point is inside when its winding number is strictly
+	// negative — the mirror of Positive, selecting clockwise-wound regions.
+	Negative
 )
 
 // Inside applies the rule to a winding number.
 func (r FillRule) Inside(wind int16) bool {
-	if r == NonZero {
+	switch r {
+	case NonZero:
 		return wind != 0
+	case Positive:
+		return wind > 0
+	case Negative:
+		return wind < 0
+	default:
+		return wind&1 != 0
 	}
-	return wind&1 != 0
 }
 
 // String returns the rule name.
@@ -99,13 +115,31 @@ func (r FillRule) String() string {
 		return "evenodd"
 	case NonZero:
 		return "nonzero"
+	case Positive:
+		return "positive"
+	case Negative:
+		return "negative"
 	default:
 		return "unknown"
 	}
 }
 
+// ParseRule resolves a rule name as emitted by String (the wire spelling of
+// the HTTP API and the CLI tools); ok is false for unknown names.
+func ParseRule(name string) (FillRule, bool) {
+	for _, r := range Rules() {
+		if name == r.String() {
+			return r, true
+		}
+	}
+	return EvenOdd, false
+}
+
 // Rules lists every fill rule, for capability matrices and fuzz drivers.
-func Rules() []FillRule { return []FillRule{EvenOdd, NonZero} }
+func Rules() []FillRule { return []FillRule{EvenOdd, NonZero, Positive, Negative} }
+
+// AllRules is the RuleSet containing every fill rule.
+func AllRules() RuleSet { return RuleMask(Rules()...) }
 
 // RuleSet is a bitmask of supported fill rules.
 type RuleSet uint8

@@ -47,7 +47,8 @@ func TestOpStringAndEval(t *testing.T) {
 }
 
 func TestFillRule(t *testing.T) {
-	if engine.EvenOdd.String() != "evenodd" || engine.NonZero.String() != "nonzero" {
+	if engine.EvenOdd.String() != "evenodd" || engine.NonZero.String() != "nonzero" ||
+		engine.Positive.String() != "positive" || engine.Negative.String() != "negative" {
 		t.Error("fill rule names wrong")
 	}
 	if engine.FillRule(9).String() != "unknown" {
@@ -59,8 +60,26 @@ func TestFillRule(t *testing.T) {
 	if !engine.NonZero.Inside(2) || engine.NonZero.Inside(0) || !engine.NonZero.Inside(-1) {
 		t.Error("NonZero.Inside wrong")
 	}
-	if len(engine.Rules()) != 2 {
-		t.Errorf("Rules() has %d entries, want 2", len(engine.Rules()))
+	if !engine.Positive.Inside(1) || engine.Positive.Inside(0) || engine.Positive.Inside(-1) {
+		t.Error("Positive.Inside wrong")
+	}
+	if !engine.Negative.Inside(-1) || engine.Negative.Inside(0) || engine.Negative.Inside(2) {
+		t.Error("Negative.Inside wrong")
+	}
+	if len(engine.Rules()) != 4 {
+		t.Errorf("Rules() has %d entries, want 4", len(engine.Rules()))
+	}
+	for _, r := range engine.Rules() {
+		got, ok := engine.ParseRule(r.String())
+		if !ok || got != r {
+			t.Errorf("ParseRule(%q) = %v, %v", r.String(), got, ok)
+		}
+		if !engine.AllRules().Has(r) {
+			t.Errorf("AllRules() lacks %s", r)
+		}
+	}
+	if _, ok := engine.ParseRule("winding-deluxe"); ok {
+		t.Error("ParseRule accepted an unknown name")
 	}
 }
 
@@ -76,20 +95,30 @@ func TestRuleMask(t *testing.T) {
 }
 
 func TestCheckRuleAndUnsupportedError(t *testing.T) {
-	vatti := engine.MustGet("vatti")
-	if err := engine.CheckRule(vatti, engine.EvenOdd); err != nil {
-		t.Errorf("vatti EvenOdd: %v", err)
+	// Every registered engine now implements every rule, so the rejection
+	// machinery is exercised through a parity-only stand-in.
+	parityOnly := badEngine{name: "parity-only", rules: engine.RuleMask(engine.EvenOdd)}
+	if err := engine.CheckRule(parityOnly, engine.EvenOdd); err != nil {
+		t.Errorf("parity-only EvenOdd: %v", err)
 	}
-	err := engine.CheckRule(vatti, engine.NonZero)
+	err := engine.CheckRule(parityOnly, engine.NonZero)
 	if !errors.Is(err, engine.ErrUnsupported) {
-		t.Fatalf("vatti NonZero: err = %v, want ErrUnsupported", err)
+		t.Fatalf("parity-only NonZero: err = %v, want ErrUnsupported", err)
 	}
 	var ue *engine.UnsupportedError
-	if !errors.As(err, &ue) || ue.Engine != "vatti" || ue.Rule != engine.NonZero {
+	if !errors.As(err, &ue) || ue.Engine != "parity-only" || ue.Rule != engine.NonZero {
 		t.Errorf("UnsupportedError fields = %+v", ue)
 	}
-	if !strings.Contains(err.Error(), "vatti") || !strings.Contains(err.Error(), "nonzero") {
+	if !strings.Contains(err.Error(), "parity-only") || !strings.Contains(err.Error(), "nonzero") {
 		t.Errorf("error text %q lacks engine/rule", err.Error())
+	}
+	// The registered engines must all pass the guard for all four rules.
+	for _, e := range engine.All() {
+		for _, r := range engine.Rules() {
+			if err := engine.CheckRule(e, r); err != nil {
+				t.Errorf("%s %s: %v", e.Name(), r, err)
+			}
+		}
 	}
 }
 
@@ -160,14 +189,30 @@ func TestReference(t *testing.T) {
 	if ref, ok := engine.Reference("overlay", engine.EvenOdd); !ok || ref.Name() != "vatti" {
 		t.Errorf("Reference(overlay, EvenOdd) = %v, %v; want vatti", ref, ok)
 	}
-	ref, ok := engine.Reference("vatti", engine.EvenOdd)
-	if !ok || ref.Name() == "vatti" {
-		t.Errorf("Reference(vatti, EvenOdd) = %v, %v; want a different engine", ref, ok)
+	// The winding rules now have oracles too: auditing overlay under NonZero
+	// must find the vatti reference (the differential auditor depends on it).
+	if ref, ok := engine.Reference("overlay", engine.NonZero); !ok || ref.Name() != "vatti" {
+		t.Errorf("Reference(overlay, NonZero) = %v, %v; want vatti", ref, ok)
 	}
-	// No second engine implements NonZero, so auditing overlay under NonZero
-	// has no oracle.
-	if _, ok := engine.Reference("overlay", engine.NonZero); ok {
-		t.Error("Reference(overlay, NonZero) found an oracle; none should exist")
+	// Every rule any two engines share has a working Reference pair for every
+	// engine implementing it — no cell of the matrix audits blind.
+	for _, e := range engine.All() {
+		for _, r := range engine.Rules() {
+			if !e.Capabilities().Rules.Has(r) {
+				continue
+			}
+			ref, ok := engine.Reference(e.Name(), r)
+			if !ok {
+				t.Errorf("Reference(%s, %s): no oracle", e.Name(), r)
+				continue
+			}
+			if ref.Name() == e.Name() {
+				t.Errorf("Reference(%s, %s) returned itself", e.Name(), r)
+			}
+			if !ref.Capabilities().Rules.Has(r) {
+				t.Errorf("Reference(%s, %s) = %s, which lacks the rule", e.Name(), r, ref.Name())
+			}
+		}
 	}
 }
 

@@ -133,7 +133,7 @@ func TestSegIntersectionMatchesOrientOracle(t *testing.T) {
 		sh := rng.Float64() * 0.5
 		tt := Segment{
 			Point{ax + sh*dx, nudgeUlps(ay+sh*dy, rng.Intn(5)-2)},
-			Point{ax + (sh+1)*dx, nudgeUlps(ay + (sh+1)*dy, rng.Intn(5)-2)},
+			Point{ax + (sh+1)*dx, nudgeUlps(ay+(sh+1)*dy, rng.Intn(5)-2)},
 		}
 		kind, _, _ := SegIntersection(s, tt)
 		properCross := orientOracle(tt.A, tt.B, s.A)*orientOracle(tt.A, tt.B, s.B) < 0 &&

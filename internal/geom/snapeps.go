@@ -29,3 +29,33 @@ func AutoSnapEps(a, b Polygon) float64 {
 	// coordinates (integers, halves, ...) is exact and outputs stay clean.
 	return math.Pow(2, math.Ceil(math.Log2(m*RelEps)))
 }
+
+// SnapPolygon quantizes every vertex onto the eps grid — the same rounding
+// the overlay engine applies before pair finding, so geometry snapped here
+// and geometry snapped inside a downstream sweep quantize identically.
+// Consecutive duplicate vertices are merged and rings that degenerate below
+// three distinct vertices are dropped. eps <= 0 returns p unchanged.
+func SnapPolygon(p Polygon, eps float64) Polygon {
+	if eps <= 0 {
+		return p
+	}
+	inv := 1 / eps
+	snap := func(v float64) float64 { return math.Round(v*inv) * eps }
+	out := make(Polygon, 0, len(p))
+	for _, r := range p {
+		nr := make(Ring, 0, len(r))
+		for _, pt := range r {
+			q := Point{X: snap(pt.X), Y: snap(pt.Y)}
+			if len(nr) == 0 || q != nr[len(nr)-1] {
+				nr = append(nr, q)
+			}
+		}
+		for len(nr) > 1 && nr[len(nr)-1] == nr[0] {
+			nr = nr[:len(nr)-1]
+		}
+		if len(nr) >= 3 {
+			out = append(out, nr)
+		}
+	}
+	return out
+}

@@ -8,14 +8,15 @@ import (
 )
 
 // clipEngine adapts the overlay pipeline to the engine registry: the default
-// strategy, and the only one implementing the NonZero fill rule.
+// strategy. The classification stage carries signed winding counts, so all
+// four fill rules run natively.
 type clipEngine struct{}
 
 func (clipEngine) Name() string { return "overlay" }
 
 func (clipEngine) Capabilities() engine.Capabilities {
 	return engine.Capabilities{
-		Rules:        engine.RuleMask(engine.EvenOdd, engine.NonZero),
+		Rules:        engine.AllRules(),
 		Cancellable:  true,
 		Parallel:     true,
 		SlabHostable: true,

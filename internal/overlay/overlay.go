@@ -142,22 +142,40 @@ func ClipCtx(ctx context.Context, subject, clip geom.Polygon, op Op, opt Options
 		}
 	}
 
-	// Pre-resolve self-intersections per operand (no-op for simple
-	// operands, which is the common case). Interior self-crossings must not
-	// reach the subdivision stage: when both operands share geometry (A∩A,
-	// shared borders), a self-crossing is found once per operand copy with
-	// the segment arguments in different orders, and SegIntersection is not
-	// bit-symmetric under argument swap — the twin split points can land in
-	// adjacent snap cells, breaking the winding symmetry between the
-	// operands and with it the even-odd parity (a polygram's A∩A loses the
-	// area around its crossings). After Resolve, edges of one operand meet
-	// only at shared exact vertices, which subdivide never splits. Resolve
-	// re-extracts the even-odd boundary, so it must not run under NonZero,
-	// where winding multiplicity (same-direction overlapping rings, a
-	// pentagram's doubly-wound centre) is semantic.
+	// Pre-resolve the pair jointly (no-op for operands that only touch at
+	// shared vertices, which is the common case). Interior crossings — an
+	// operand's own or between the operands — must not reach the
+	// subdivision stage as raw geometry. Self-crossings: when both operands
+	// share geometry (A∩A, shared borders), a self-crossing is found once
+	// per operand copy with the segment arguments in different orders, and
+	// SegIntersection is not bit-symmetric under argument swap — the twin
+	// split points can land in adjacent snap cells, breaking the winding
+	// symmetry between the operands and with it the even-odd parity (a
+	// polygram's A∩A loses the area around its crossings). Cross-operand
+	// crossings: subdivide snaps each split point independently, and a
+	// cluster of crossings a few cells apart (a near-flat sliver edge
+	// grazing the other operand's vertex) snaps to distinct grid points
+	// whose sub-segments still cross — a non-planar arrangement with
+	// unbalanced node degrees that stitching must drop. ResolvePair splits
+	// everything at every intersection and welds both operands onto one
+	// shared grid, so subdivide meets crossings only at shared exact
+	// vertices, which it never splits. ResolvePair re-extracts the even-odd
+	// boundary of self-crossing operands, so it must not run under the
+	// winding rules (NonZero/Positive/Negative), where winding multiplicity
+	// (same-direction overlapping rings, a pentagram's doubly-wound centre)
+	// is semantic.
 	if opt.Rule == EvenOdd {
-		subject = arrange.Resolve(subject)
-		clip = arrange.Resolve(clip)
+		subject, clip = arrange.ResolvePair(subject, clip)
+	} else {
+		// Winding rules get the winding-preserving joint resolve instead:
+		// both operands split-and-weld onto the pair's shared grid with ring
+		// directions (and hence winding multiplicity) intact. Beyond welding
+		// self-crossings, this matters when the snap grid is coarse relative
+		// to one operand (mixed-extent pairs): sub-eps slivers collapse here
+		// exactly as they do in every other engine's pair arrangement.
+		// Vertex snapping alone keeps such slivers at full width and the
+		// winding measure drifts from the rest of the registry.
+		subject, clip = arrange.ResolvePairWinding(subject, clip)
 	}
 
 	// Snap the inputs onto the eps grid before pair finding, so that

@@ -62,26 +62,33 @@ func (s snapper) point(p geom.Point) geom.Point {
 }
 
 // snapPolygon canonicalizes every vertex onto the eps grid, dropping rings
-// that degenerate below three distinct vertices.
+// that degenerate below three distinct vertices. It is geom.SnapPolygon —
+// one shared quantization policy, so geometry pre-snapped by callers (the
+// slab decomposition snaps the pair before cutting it) arrives here
+// bit-identical.
 func snapPolygon(p geom.Polygon, eps float64) geom.Polygon {
-	sn := newSnapper(eps)
-	out := make(geom.Polygon, 0, len(p))
-	for _, r := range p {
-		nr := make(geom.Ring, 0, len(r))
-		for _, pt := range r {
-			q := sn.point(pt)
-			if len(nr) == 0 || q != nr[len(nr)-1] {
-				nr = append(nr, q)
-			}
-		}
-		for len(nr) > 1 && nr[len(nr)-1] == nr[0] {
-			nr = nr[:len(nr)-1]
-		}
-		if len(nr) >= 3 {
-			out = append(out, nr)
+	return geom.SnapPolygon(p, eps)
+}
+
+// weldNearVertex pulls an intersection point onto a nearby endpoint of
+// either parent edge. Snap rounding demands it: a crossing that lands
+// within a cell or two of an existing vertex (a near-tangency, e.g. one
+// polygon's apex grazing the other's edge) otherwise rounds to a grid
+// point *adjacent* to that vertex, leaving the vertex in the interior of a
+// sub-segment with no node there. The left-side flags of such a segment
+// are not constant along it, classification is poisoned for every beam
+// past the vertex, and stitching drops the unclosable chains. Welding onto
+// the endpoint turns the near-tangency into an exact T-vertex instead.
+func weldNearVertex(q geom.Point, e1, e2 geom.Segment, eps float64) geom.Point {
+	lim := 2 * eps
+	best, bestD := q, lim*lim
+	for _, v := range [4]geom.Point{e1.A, e1.B, e2.A, e2.B} {
+		dx, dy := q.X-v.X, q.Y-v.Y
+		if d := dx*dx + dy*dy; d < bestD {
+			best, bestD = v, d
 		}
 	}
-	return out
+	return best
 }
 
 // subdivide splits every edge at its intersection points with other edges
@@ -120,8 +127,11 @@ func subdivide(ctx context.Context, edges []geom.Segment, owners []uint8, pairs 
 			kind, p0, p1 := geom.SegIntersection(edges[pr.I], edges[pr.J])
 			switch kind {
 			case geom.Crossing:
+				p0 = weldNearVertex(p0, edges[pr.I], edges[pr.J], eps)
 				local = append(local, split{pr.I, p0}, split{pr.J, p0})
 			case geom.Overlapping:
+				p0 = weldNearVertex(p0, edges[pr.I], edges[pr.J], eps)
+				p1 = weldNearVertex(p1, edges[pr.I], edges[pr.J], eps)
 				local = append(local,
 					split{pr.I, p0}, split{pr.I, p1},
 					split{pr.J, p0}, split{pr.J, p1})

@@ -1,9 +1,10 @@
 // Package scanbeam is the shared substrate of every scanbeam-sweep engine:
 // the per-beam edge-population buffers (pooled so parallel beam loops stay
 // allocation-free), the x-ordering of active edges on a beam line, the
-// Lemma 1/3 parity walk that emits op-selected trapezoids, and the
-// sequential bottom-to-top sweep schedule (CSR start buckets + active-list
-// compaction).
+// winding-aware Lemma 1/3 walk that emits rule/op-selected trapezoids (signed
+// winding counts generalize the paper's parity argument, so one walk serves
+// EvenOdd, NonZero, Positive and Negative), and the sequential bottom-to-top
+// sweep schedule (CSR start buckets + active-list compaction).
 //
 // Before this package existed the same machinery was re-implemented in
 // internal/vatti (sequential sweep), internal/core (parallel Algorithm 1
@@ -20,12 +21,66 @@ import (
 )
 
 // Entry is one edge (or chain end) positioned on a scanbeam line: its x
-// coordinate there, the caller's edge id, and an owner tag (subject/clip
-// polygon, or any other per-edge bit the walk needs).
+// coordinate there, the caller's edge id, an owner tag (subject/clip
+// polygon, or any other per-edge bit the walk needs), and the signed winding
+// delta the edge contributes when crossed left to right (+1 for edges whose
+// original ring direction is downward, -1 for upward; parity-only callers
+// may leave it zero).
 type Entry struct {
 	X     float64
 	ID    int32
 	Owner uint8
+	Delta int8
+}
+
+// Edge is one active edge of a sweep: the segment normalized upward
+// (A.Y < B.Y), the operand tag (0 subject, 1 clip) and the winding delta of
+// the original ring direction. It is the shared currency between
+// CollectEdges, the sweep schedules and BeamTrapezoids.
+type Edge struct {
+	Seg   geom.Segment
+	Owner uint8
+	Delta int8
+}
+
+// CollectEdges flattens both operands into upward-oriented active edges
+// carrying signed winding deltas. Horizontal edges are dropped outright
+// rather than perturbed: the winding of any scanline strictly inside a beam
+// is unaffected by edges lying on beam boundaries, and the boundary pieces
+// they contribute are regenerated exactly as trapezoid caps (this sidesteps
+// the paper's §III-C perturbation without changing the result). The delta
+// follows the shared convention of engine.FillRule: an original edge
+// directed downward (Hi to Lo) adds +1 when crossed left to right, an
+// upward one adds -1, so a counter-clockwise ring winds its interior +1.
+func CollectEdges(subject, clip geom.Polygon) []Edge {
+	var out []Edge
+	add := func(p geom.Polygon, owner uint8) {
+		for _, r := range p {
+			n := len(r)
+			if n < 3 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				j := i + 1
+				if j == n {
+					j = 0
+				}
+				a, b := r[i], r[j]
+				if a.Y == b.Y {
+					continue
+				}
+				delta := int8(-1) // ring walks upward through this edge
+				if a.Y > b.Y {
+					a, b = b, a
+					delta = 1 // ring walks downward: +1 left-to-right
+				}
+				out = append(out, Edge{Seg: geom.Segment{A: a, B: b}, Owner: owner, Delta: delta})
+			}
+		}
+	}
+	add(subject, 0)
+	add(clip, 1)
+	return out
 }
 
 // Scratch is a reusable Entry buffer for per-beam ordering. The zero value
@@ -86,33 +141,43 @@ func SortByX(entries []Entry) {
 // BeamTrapezoids orders the beam's active edges on the beam midline and
 // appends the op-selected trapezoids of the beam [yb, yt] to out — the
 // shared Step 3 of the sequential sweep and the parallel Algorithm 1: walk
-// left to right flipping per-polygon parity (Lemma 1/3) and emit one
-// trapezoid per maximal run where the operation holds. edge returns the
-// (upward-oriented) segment and owner tag of an id.
+// left to right accumulating each polygon's signed winding count (Lemma 1/3
+// generalized from parity to winding) and emit one trapezoid per maximal run
+// where the operation holds under the fill rule. edge returns the
+// (upward-oriented) segment, owner tag and winding delta of an id. For
+// EvenOdd the ±1 deltas both flip parity, so the walk is bit-identical to
+// the historical parity walk; the winding rules read the accumulated sign.
+//
+// Fully coincident edges (the only equal-x entries an arrange-resolved input
+// can place on a beam midline) may be visited in either order; any
+// transient strip between them has zero width, so the emitted trapezoid
+// degenerates to its caps and cancels during assembly — the canonical
+// shared-edge policy every engine inherits from this walk.
 func BeamTrapezoids(scratch *Scratch, ids []int32, yb, yt float64, op engine.Op,
-	edge func(int32) (geom.Segment, uint8), out *[]engine.Trapezoid) {
+	rule engine.FillRule, edge func(int32) (geom.Segment, uint8, int8), out *[]engine.Trapezoid) {
 	ymid := (yb + yt) / 2
 	order := scratch.Entries(len(ids))
 	for i, id := range ids {
-		seg, owner := edge(id)
-		order[i] = Entry{X: seg.XAtY(ymid), ID: id, Owner: owner}
+		seg, owner, delta := edge(id)
+		order[i] = Entry{X: seg.XAtY(ymid), ID: id, Owner: owner, Delta: delta}
 	}
 	SortByX(order)
 
-	var inSub, inClip, inOp bool
+	var windSub, windClip int16
+	inOp := false
 	var left int32 = -1
 	for _, e := range order {
 		if e.Owner == 0 {
-			inSub = !inSub
+			windSub += int16(e.Delta)
 		} else {
-			inClip = !inClip
+			windClip += int16(e.Delta)
 		}
-		now := op.Eval(inSub, inClip)
+		now := op.Eval(rule.Inside(windSub), rule.Inside(windClip))
 		if now && !inOp {
 			left = e.ID
 		} else if !now && inOp {
-			l, _ := edge(left)
-			r, _ := edge(e.ID)
+			l, _, _ := edge(left)
+			r, _, _ := edge(e.ID)
 			tz := engine.Trapezoid{
 				L1: geom.Point{X: l.XAtY(yb), Y: yb},
 				R1: geom.Point{X: r.XAtY(yb), Y: yb},

@@ -84,11 +84,14 @@ func vertical(x, y0, y1 float64) geom.Segment {
 }
 
 func TestBeamTrapezoidsUnion(t *testing.T) {
+	// A CCW region between two verticals: the left bound descends (+1), the
+	// right bound ascends (-1).
 	edges := []geom.Segment{vertical(0, 0, 1), vertical(2, 0, 1)}
-	edgeAt := func(id int32) (geom.Segment, uint8) { return edges[id], 0 }
+	deltas := []int8{1, -1}
+	edgeAt := func(id int32) (geom.Segment, uint8, int8) { return edges[id], 0, deltas[id] }
 	var scratch Scratch
 	var out []engine.Trapezoid
-	BeamTrapezoids(&scratch, []int32{0, 1}, 0, 1, engine.Union, edgeAt, &out)
+	BeamTrapezoids(&scratch, []int32{0, 1}, 0, 1, engine.Union, engine.EvenOdd, edgeAt, &out)
 	if len(out) != 1 {
 		t.Fatalf("emitted %d trapezoids, want 1", len(out))
 	}
@@ -104,10 +107,11 @@ func TestBeamTrapezoidsIntersection(t *testing.T) {
 		vertical(2, 0, 1), vertical(6, 0, 1), // clip
 	}
 	owners := []uint8{0, 0, 1, 1}
-	edgeAt := func(id int32) (geom.Segment, uint8) { return edges[id], owners[id] }
+	deltas := []int8{1, -1, 1, -1}
+	edgeAt := func(id int32) (geom.Segment, uint8, int8) { return edges[id], owners[id], deltas[id] }
 	var scratch Scratch
 	var out []engine.Trapezoid
-	BeamTrapezoids(&scratch, []int32{0, 1, 2, 3}, 0, 1, engine.Intersection, edgeAt, &out)
+	BeamTrapezoids(&scratch, []int32{0, 1, 2, 3}, 0, 1, engine.Intersection, engine.EvenOdd, edgeAt, &out)
 	if len(out) != 1 {
 		t.Fatalf("emitted %d trapezoids, want 1", len(out))
 	}
@@ -117,9 +121,101 @@ func TestBeamTrapezoidsIntersection(t *testing.T) {
 	}
 	// Xor of the same beam: two strips, [0,2] and [4,6].
 	out = out[:0]
-	BeamTrapezoids(&scratch, []int32{0, 1, 2, 3}, 0, 1, engine.Xor, edgeAt, &out)
+	BeamTrapezoids(&scratch, []int32{0, 1, 2, 3}, 0, 1, engine.Xor, engine.EvenOdd, edgeAt, &out)
 	if len(out) != 2 {
 		t.Fatalf("xor emitted %d trapezoids, want 2", len(out))
+	}
+}
+
+func TestBeamTrapezoidsWindingRules(t *testing.T) {
+	// A doubly-wound subject: two nested CCW intervals [0,6] and [2,4] in one
+	// beam, so the winding is 1 on [0,2]∪[4,6] and 2 on [2,4]. Under EvenOdd
+	// the middle is a hole; NonZero and Positive fill it; Negative selects
+	// nothing. The clip operand is absent, so Union reads pure subject
+	// insideness.
+	edges := []geom.Segment{
+		vertical(0, 0, 1), vertical(6, 0, 1),
+		vertical(2, 0, 1), vertical(4, 0, 1),
+	}
+	deltas := []int8{1, -1, 1, -1}
+	edgeAt := func(id int32) (geom.Segment, uint8, int8) { return edges[id], 0, deltas[id] }
+	ids := []int32{0, 1, 2, 3}
+	var scratch Scratch
+
+	area := func(rule engine.FillRule) float64 {
+		var out []engine.Trapezoid
+		BeamTrapezoids(&scratch, ids, 0, 1, engine.Union, rule, edgeAt, &out)
+		var sum float64
+		for _, tz := range out {
+			sum += tz.Area()
+		}
+		return sum
+	}
+	if a := area(engine.EvenOdd); math.Abs(a-4) > 1e-12 {
+		t.Errorf("evenodd area = %g, want 4 (doubly-wound middle excluded)", a)
+	}
+	if a := area(engine.NonZero); math.Abs(a-6) > 1e-12 {
+		t.Errorf("nonzero area = %g, want 6", a)
+	}
+	if a := area(engine.Positive); math.Abs(a-6) > 1e-12 {
+		t.Errorf("positive area = %g, want 6", a)
+	}
+	if a := area(engine.Negative); a != 0 {
+		t.Errorf("negative area = %g, want 0 (all winding positive)", a)
+	}
+
+	// Reversing every delta flips the winding sign: Positive and Negative
+	// swap, EvenOdd and NonZero are unchanged.
+	for i := range deltas {
+		deltas[i] = -deltas[i]
+	}
+	if a := area(engine.Negative); math.Abs(a-6) > 1e-12 {
+		t.Errorf("negative area after reversal = %g, want 6", a)
+	}
+	if a := area(engine.Positive); a != 0 {
+		t.Errorf("positive area after reversal = %g, want 0", a)
+	}
+	if a := area(engine.EvenOdd); math.Abs(a-4) > 1e-12 {
+		t.Errorf("evenodd area after reversal = %g, want 4", a)
+	}
+}
+
+func TestCollectEdges(t *testing.T) {
+	// One CCW square: of its 4 edges the horizontals are dropped, leaving 2.
+	// The CCW walk ascends the right bound (2,0)->(2,2), delta -1, and
+	// descends the left bound (0,2)->(0,0), delta +1 — so a left-to-right
+	// crossing of the interior reads winding +1.
+	sq := geom.Polygon{{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}}}
+	edges := CollectEdges(sq, nil)
+	if len(edges) != 2 {
+		t.Fatalf("collected %d edges, want 2 (horizontals dropped)", len(edges))
+	}
+	for _, e := range edges {
+		if e.Seg.A.Y >= e.Seg.B.Y {
+			t.Errorf("edge not upward-normalized: %+v", e)
+		}
+		if e.Owner != 0 {
+			t.Errorf("subject edge owner = %d", e.Owner)
+		}
+		switch e.Seg.A.X {
+		case 0: // left bound: original direction downward
+			if e.Delta != 1 {
+				t.Errorf("left bound delta = %d, want +1", e.Delta)
+			}
+		case 2: // right bound: original direction upward
+			if e.Delta != -1 {
+				t.Errorf("right bound delta = %d, want -1", e.Delta)
+			}
+		default:
+			t.Errorf("unexpected edge x: %+v", e)
+		}
+	}
+	// Clip edges carry owner 1.
+	both := CollectEdges(nil, sq)
+	for _, e := range both {
+		if e.Owner != 1 {
+			t.Errorf("clip edge owner = %d, want 1", e.Owner)
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ type job struct {
 type jobResult struct {
 	out polyclip.Polygon
 	st  *polyclip.Stats
+	m   *RequestMetrics // job-side metrics, shipped back on the response channel
 	err error
 }
 
@@ -165,6 +166,7 @@ func (s *Server) clipOne(j *job) {
 			break
 		}
 	}
+	last.m = j.m
 	if last.st != nil {
 		s.recovered.Add(int64(last.st.Resilience.Recovered))
 		s.stageTimeouts.Add(int64(last.st.Resilience.StageTimeouts))

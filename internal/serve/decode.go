@@ -22,7 +22,7 @@ type ClipRequest struct {
 	Subject   json.RawMessage `json:"subject"`
 	Clip      json.RawMessage `json:"clip"`
 	Op        string          `json:"op"`
-	Rule      string          `json:"rule,omitempty"`      // "" | "evenodd" | "nonzero"
+	Rule      string          `json:"rule,omitempty"`      // "" | "evenodd" | "nonzero" | "positive" | "negative"
 	Algorithm string          `json:"algorithm,omitempty"` // "" | "overlay" | "slabs" | "scanbeam" | "sequential"
 }
 
@@ -127,9 +127,13 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, maxBody int64) (*pars
 		out.rule = polyclip.EvenOdd
 	case "nonzero":
 		out.rule = polyclip.NonZero
+	case "positive":
+		out.rule = polyclip.Positive
+	case "negative":
+		out.rule = polyclip.Negative
 	default:
 		return nil, httpErrorf(http.StatusBadRequest, "unknown-rule",
-			"rule %q is not one of evenodd, nonzero", req.Rule)
+			"rule %q is not one of evenodd, nonzero, positive, negative", req.Rule)
 	}
 	out.algoName = strings.ToLower(req.Algorithm)
 	switch out.algoName {

@@ -1,0 +1,37 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestHTTPErrorMessage(t *testing.T) {
+	e := httpErrorf(422, "bad_rule", "unknown fill rule %q", "winding")
+	if got := e.Error(); got != `unknown fill rule "winding"` {
+		t.Errorf("Error() = %q", got)
+	}
+	if e.status != 422 || e.body.Code != "bad_rule" {
+		t.Errorf("status/code = %d/%q", e.status, e.body.Code)
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	s := NewServer(Config{RetryBase: time.Microsecond})
+
+	// A live context: the jittered sleep elapses and reports true. Large
+	// attempt values must clamp instead of overflowing the shift.
+	if !s.backoff(context.Background(), 3) {
+		t.Error("backoff with live ctx = false, want true")
+	}
+	if !s.backoff(context.Background(), 64) {
+		t.Error("backoff with clamped attempt = false, want true")
+	}
+
+	// An already-cancelled context wins the race against any delay.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if s.backoff(ctx, 16) {
+		t.Error("backoff with cancelled ctx = true, want false")
+	}
+}

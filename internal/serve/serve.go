@@ -342,7 +342,13 @@ func (s *Server) handleClip(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
-	j := &job{req: preq, ctx: ctx, resp: make(chan jobResult, 1), m: m}
+	// The job gets a private copy of the metrics record: the batcher and
+	// clip workers stamp timings into it without synchronizing with this
+	// handler, which may abandon the job on context expiry and read its own
+	// record concurrently. The finished copy rides back on the response
+	// channel (a happens-before edge) and is merged below.
+	jm := *m
+	j := &job{req: preq, ctx: ctx, resp: make(chan jobResult, 1), m: &jm}
 
 	// Admission. The enqueue fault site sits before the queue send so an
 	// injected panic exercises the handler's recovery path.
@@ -374,6 +380,13 @@ func (s *Server) handleClip(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case res := <-j.resp:
+		if res.m != nil {
+			// Adopt the job-side timings; enqueue/degraded were stamped on
+			// the handler's record after the job copy was taken.
+			res.m.EnqueueNs = m.EnqueueNs
+			res.m.Degraded = m.Degraded
+			*m = *res.m
+		}
 		if res.err != nil {
 			he := clipError(res.err)
 			s.writeError(w, he)

@@ -112,23 +112,51 @@ func TestClipGeoJSONOperand(t *testing.T) {
 }
 
 func TestAllOpsRulesAlgorithms(t *testing.T) {
+	// The full wire-level matrix: every op under every fill rule through
+	// every algorithm must answer 200 — no cell of the capability matrix is
+	// served by a silent strategy swap or rejected.
 	_, ts := newTestServer(t, Config{})
 	for _, op := range []string{"intersection", "union", "difference", "xor"} {
-		for _, algo := range []string{"overlay", "slabs", "scanbeam", "sequential"} {
-			resp, body := postClip(t, ts.URL, clipBody(sqA, sqB, op, map[string]any{"algorithm": algo}))
-			if resp.StatusCode != http.StatusOK {
-				t.Errorf("%s/%s: status %d: %s", op, algo, resp.StatusCode, body)
+		for _, rule := range []string{"", "evenodd", "nonzero", "positive", "negative"} {
+			for _, algo := range []string{"overlay", "slabs", "scanbeam", "sequential"} {
+				extra := map[string]any{"algorithm": algo}
+				if rule != "" {
+					extra["rule"] = rule
+				}
+				resp, body := postClip(t, ts.URL, clipBody(sqA, sqB, op, extra))
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s/%s/%s: status %d: %s", op, rule, algo, resp.StatusCode, body)
+				}
 			}
 		}
 	}
-	// NonZero is overlay-only: supported there, typed 422 elsewhere.
-	resp, _ := postClip(t, ts.URL, clipBody(sqA, sqB, "union", map[string]any{"rule": "nonzero"}))
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("nonzero overlay: status %d", resp.StatusCode)
+	// The winding answer must actually differ from parity where geometry
+	// demands it: a doubly-wound subject against a frame.
+	doubly := `POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (2 2, 6 2, 6 6, 2 6, 2 2))`
+	frame := `POLYGON ((-1 -1, 7 -1, 7 7, -1 7, -1 -1))`
+	for rule, want := range map[string]float64{"evenodd": 24, "nonzero": 28, "positive": 28, "negative": 0} {
+		resp, body := postClip(t, ts.URL, clipBody(doubly, frame, "intersection", map[string]any{"rule": rule, "algorithm": "scanbeam"}))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s scanbeam: status %d: %s", rule, resp.StatusCode, body)
+			continue
+		}
+		if got := resultArea(t, body); math.Abs(got-want) > 1e-6 {
+			t.Errorf("%s scanbeam: area = %v, want %v", rule, got, want)
+		}
 	}
-	resp, body := postClip(t, ts.URL, clipBody(sqA, sqB, "union", map[string]any{"rule": "nonzero", "algorithm": "slabs"}))
-	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Errorf("nonzero slabs: status %d, want 422: %s", resp.StatusCode, body)
+}
+
+// TestClipErrorUnsupportedMapping pins the 422 contract for unsupported
+// rule/engine combinations directly: no registered engine declines any rule
+// anymore, so the mapping is exercised at the error-translation seam the
+// handler uses (the same path a future capability-gapped engine would take).
+func TestClipErrorUnsupportedMapping(t *testing.T) {
+	he := clipError(fmt.Errorf("select: %w", polyclip.ErrUnsupported))
+	if he.status != http.StatusUnprocessableEntity {
+		t.Errorf("status = %d, want 422", he.status)
+	}
+	if he.body.Code != "unsupported" {
+		t.Errorf("code = %q, want unsupported", he.body.Code)
 	}
 }
 
@@ -259,6 +287,7 @@ func TestOverloadDegradesThenSheds(t *testing.T) {
 		Threads:             1,
 		DegradedHold:        300 * time.Millisecond,
 		RequestTimeout:      10 * time.Second,
+		MaxBodyBytes:        8 << 20,
 	})
 	const n = 40
 	var (
@@ -270,6 +299,30 @@ func TestOverloadDegradesThenSheds(t *testing.T) {
 		unanswered atomic.Int64
 	)
 	body := clipBody(subj, clip, "intersection", nil)
+
+	// Wedge the single worker slot before firing the burst: one oversized
+	// request (~160ms of clipping) holds MaxConcurrent=1 while the n
+	// requests below arrive, so the depth-2 queue overflows regardless of
+	// how fast the machine drains 600-vertex clips.
+	plugSubj, plugClip := slowOperands(30000)
+	plugBody := clipBody(plugSubj, plugClip, "intersection", nil)
+	plugDone := make(chan struct{})
+	go func() {
+		defer close(plugDone)
+		resp, err := http.Post(ts.URL+"/clip", "application/json", bytes.NewReader(plugBody))
+		if err != nil {
+			t.Errorf("plug request failed: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("plug request: status %d: %s", resp.StatusCode, buf.Bytes())
+		}
+	}()
+	time.Sleep(60 * time.Millisecond)
+
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func() {
@@ -304,7 +357,19 @@ func TestOverloadDegradesThenSheds(t *testing.T) {
 			}
 		}()
 	}
+	// Observe the mode while the burst is still in flight: wg.Wait below can
+	// outlast DegradedHold (two queued requests drain behind the plug), so
+	// the engaged state must be sampled now, not after.
+	sawDegraded := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if s.Mode() == "degraded" {
+			sawDegraded = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	wg.Wait()
+	<-plugDone
 	if unanswered.Load() > 0 {
 		t.Errorf("%d requests got no HTTP answer at all", unanswered.Load())
 	}
@@ -321,11 +386,13 @@ func TestOverloadDegradesThenSheds(t *testing.T) {
 	if degraded.Load() == 0 {
 		t.Error("no 200 response was marked degraded")
 	}
-	if s.Mode() != "degraded" {
-		t.Error("mode should be degraded right after an overload burst")
+	if !sawDegraded {
+		t.Error("mode never engaged degraded during the overload burst")
 	}
-	// Load subsided: the mode must disengage after the hold expires.
-	time.Sleep(400 * time.Millisecond)
+	// Load subsided: the mode must disengage once the hold expires.
+	for deadline := time.Now().Add(3 * time.Second); s.Mode() != "normal" && time.Now().Before(deadline); {
+		time.Sleep(10 * time.Millisecond)
+	}
 	if s.Mode() != "normal" {
 		t.Error("mode should return to normal once load subsides")
 	}

@@ -15,7 +15,7 @@ func (clipEngine) Name() string { return "vatti" }
 
 func (clipEngine) Capabilities() engine.Capabilities {
 	return engine.Capabilities{
-		Rules:        engine.RuleMask(engine.EvenOdd),
+		Rules:        engine.AllRules(),
 		Trapezoids:   true,
 		SlabHostable: true,
 	}
@@ -30,7 +30,7 @@ func (e clipEngine) Clip(ctx context.Context, a, b geom.Polygon, op engine.Op, o
 			return engine.Result{}, err
 		}
 	}
-	return engine.Result{Polygon: Clip(a, b, op)}, nil
+	return engine.Result{Polygon: ClipRule(a, b, op, opt.Rule)}, nil
 }
 
 func (clipEngine) Trapezoids(a, b geom.Polygon, op engine.Op) []engine.Trapezoid {

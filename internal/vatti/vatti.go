@@ -43,40 +43,53 @@ const (
 // Trapezoid aliases the canonical scanbeam-piece type (see internal/engine).
 type Trapezoid = engine.Trapezoid
 
-// activeEdge is an edge of the input in the active edge list.
-type activeEdge struct {
-	seg   geom.Segment // oriented with A.Y < B.Y
-	owner uint8        // 0 subject, 1 clip
-}
-
 // Clip computes `subject op clip` with the sequential scanbeam sweep.
 func Clip(subject, clip geom.Polygon, op Op) geom.Polygon {
 	return Assemble(Trapezoids(subject, clip, op))
 }
 
-// Trapezoids computes the trapezoid decomposition of `subject op clip` —
-// the raw per-scanbeam output of the sweep, before merging (GPC's tristrip
-// analogue).
+// ClipRule computes `subject op clip` under the given fill rule with the
+// sequential scanbeam sweep.
+func ClipRule(subject, clip geom.Polygon, op Op, rule engine.FillRule) geom.Polygon {
+	return Assemble(TrapezoidsRule(subject, clip, op, rule))
+}
+
+// Trapezoids computes the even-odd trapezoid decomposition of
+// `subject op clip` — the raw per-scanbeam output of the sweep, before
+// merging (GPC's tristrip analogue).
+func Trapezoids(subject, clip geom.Polygon, op Op) []Trapezoid {
+	return TrapezoidsRule(subject, clip, op, engine.EvenOdd)
+}
+
+// TrapezoidsRule is Trapezoids under an explicit fill rule: the sweep walks
+// signed winding counts, so EvenOdd, NonZero, Positive and Negative all run
+// through the same beam schedule.
 //
 // Horizontal input edges are dropped outright rather than perturbed: the
-// even-odd parity of any scanline strictly inside a beam is unaffected by
-// edges lying on beam boundaries, and the boundary pieces they contribute
-// are regenerated exactly as trapezoid caps. This sidesteps the paper's
-// §III-C perturbation without changing the result.
-func Trapezoids(subject, clip geom.Polygon, op Op) []Trapezoid {
+// winding of any scanline strictly inside a beam is unaffected by edges
+// lying on beam boundaries, and the boundary pieces they contribute are
+// regenerated exactly as trapezoid caps. This sidesteps the paper's §III-C
+// perturbation without changing the result.
+func TrapezoidsRule(subject, clip geom.Polygon, op Op, rule engine.FillRule) []Trapezoid {
 	subject = dropDegenerate(subject)
 	clip = dropDegenerate(clip)
 
 	// Pre-resolve the arrangement: every crossing or overlap between any
 	// two edges — within an operand or across them — becomes a shared
-	// welded vertex, and self-intersecting operands are rewritten as simple
-	// even-odd rings. Scheduling intersection ys on unsplit edges is not
+	// welded vertex. Scheduling intersection ys on unsplit edges is not
 	// enough: a near-collinear crossing's computed y can land in the wrong
 	// beam, leaving two active edges crossed inside a beam and the emitted
-	// trapezoid corners inverted.
-	subject, clip = arrange.ResolvePair(subject, clip)
+	// trapezoid corners inverted. Under EvenOdd, self-intersecting operands
+	// are additionally rewritten as simple even-odd rings; the winding rules
+	// keep the split rings directed as given, because the signed-count walk
+	// needs the original winding multiplicities.
+	if rule == engine.EvenOdd {
+		subject, clip = arrange.ResolvePair(subject, clip)
+	} else {
+		subject, clip = arrange.ResolvePairWinding(subject, clip)
+	}
 
-	edges := collectEdges(subject, clip)
+	edges := scanbeam.CollectEdges(subject, clip)
 	if len(edges) == 0 {
 		return nil
 	}
@@ -85,27 +98,28 @@ func Trapezoids(subject, clip geom.Polygon, op Op) []Trapezoid {
 	// cross strictly inside any beam.
 	ys := make([]float64, 0, 2*len(edges))
 	for _, ae := range edges {
-		ys = append(ys, ae.seg.A.Y, ae.seg.B.Y)
+		ys = append(ys, ae.Seg.A.Y, ae.Seg.B.Y)
 	}
 	ys = segtree.Dedup(ys)
 	if len(ys) < 2 {
 		return nil
 	}
 
-	// Sweep schedule and per-beam parity walk both come from the shared
+	// Sweep schedule and per-beam winding walk both come from the shared
 	// scanbeam substrate; the sweep is sequential, so one stack scratch
 	// serves every beam with zero steady-state allocation.
 	sweep := scanbeam.NewSweep(ys, len(edges), func(i int32) (float64, float64) {
-		return edges[i].seg.A.Y, edges[i].seg.B.Y
+		return edges[i].Seg.A.Y, edges[i].Seg.B.Y
 	})
-	edgeAt := func(id int32) (geom.Segment, uint8) {
-		return edges[id].seg, edges[id].owner
+	edgeAt := func(id int32) (geom.Segment, uint8, int8) {
+		e := &edges[id]
+		return e.Seg, e.Owner, e.Delta
 	}
 	var scratch scanbeam.Scratch
 	var tzs []Trapezoid
 	sweep.ForEachBeam(func(_ int, yb, yt float64, active []int32) {
 		if len(active) >= 2 {
-			scanbeam.BeamTrapezoids(&scratch, active, yb, yt, op, edgeAt, &tzs)
+			scanbeam.BeamTrapezoids(&scratch, active, yb, yt, op, rule, edgeAt, &tzs)
 		}
 	})
 	return tzs
@@ -229,29 +243,6 @@ func dropDegenerate(p geom.Polygon) geom.Polygon {
 			out = append(out, r)
 		}
 	}
-	return out
-}
-
-// collectEdges flattens both polygons into upward-oriented active edges.
-func collectEdges(subject, clip geom.Polygon) []activeEdge {
-	var out []activeEdge
-	add := func(p geom.Polygon, owner uint8) {
-		for _, r := range p {
-			for i := range r {
-				j := (i + 1) % len(r)
-				a, b := r[i], r[j]
-				if a.Y == b.Y {
-					continue // horizontal (only possible post-shear for degenerate dx)
-				}
-				if a.Y > b.Y {
-					a, b = b, a
-				}
-				out = append(out, activeEdge{geom.Segment{A: a, B: b}, owner})
-			}
-		}
-	}
-	add(subject, 0)
-	add(clip, 1)
 	return out
 }
 

@@ -88,18 +88,23 @@ const (
 // internal/engine).
 type FillRule = engine.FillRule
 
-// Supported fill rules.
+// Supported fill rules. Every Algorithm implements every rule.
 const (
 	// EvenOdd (default): inside = odd crossing parity, as in GPC and the
 	// paper.
 	EvenOdd = engine.EvenOdd
 	// NonZero: inside = nonzero winding number (vector-graphics rule).
-	// Implemented by the overlay engine only — see Options.Rule.
 	NonZero = engine.NonZero
+	// Positive: inside = winding number > 0 (counter-clockwise regions).
+	Positive = engine.Positive
+	// Negative: inside = winding number < 0 (clockwise regions).
+	Negative = engine.Negative
 )
 
 // ErrUnsupported tags a rule/algorithm combination no registered engine can
-// serve — e.g. Rule: NonZero with Algorithm: AlgoSlabs. Test with errors.Is.
+// serve. Every built-in engine now implements all four fill rules, so the
+// error is reserved for future capability gaps (and external engines); the
+// registry still refuses to swap strategies silently. Test with errors.Is.
 var ErrUnsupported = engine.ErrUnsupported
 
 // Options configures ClipWith and the hardened Ctx entry points.
@@ -108,10 +113,11 @@ type Options struct {
 	Algorithm Algorithm
 	// Threads bounds the parallelism; <= 0 means all available CPUs.
 	Threads int
-	// Rule is the fill rule. NonZero is only implemented by the overlay
-	// engine: requesting it with the default AlgoOverlay works, while
-	// combining it with any other Algorithm returns an error wrapping
-	// ErrUnsupported (earlier versions silently swapped the strategy).
+	// Rule is the fill rule; every Algorithm hosts all four (the scanbeam
+	// engines sweep signed winding counts, the slab decomposition
+	// normalizes winding operands before partitioning). A rule outside an
+	// engine's declared capabilities returns an error wrapping
+	// ErrUnsupported rather than silently swapping the strategy.
 	Rule FillRule
 	// Slabs is the slab count for AlgoSlabs and the layer overlay; 0 means
 	// one per thread.

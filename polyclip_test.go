@@ -2,8 +2,8 @@ package polyclip
 
 import (
 	"context"
-	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -137,23 +137,30 @@ func TestNonZeroRulePublicAPI(t *testing.T) {
 	}
 }
 
-func TestNonZeroUnsupportedAlgorithmPublicAPI(t *testing.T) {
-	// NonZero is only implemented by the overlay engine: combining it with a
-	// strategy whose primary engine cannot serve it is a typed error, not a
-	// silent strategy swap.
-	p := Polygon{Ring{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}}}
+func TestWindingRulesAllAlgorithmsPublicAPI(t *testing.T) {
+	// Every strategy now hosts every fill rule: the same winding-sensitive
+	// input must produce the analytic area through each Algorithm, with no
+	// fallback rescue masking a primary-engine failure.
+	p := Polygon{
+		Ring{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}},
+		Ring{{X: 2, Y: 2}, {X: 6, Y: 2}, {X: 6, Y: 6}, {X: 2, Y: 6}},
+	}
 	frame := rect(-1, -1, 7, 7)
-	for _, algo := range []Algorithm{AlgoSlabs, AlgoScanbeam, AlgoSequential} {
-		out, _, err := ClipCtx(context.Background(), p, frame, Intersection, Options{Rule: NonZero, Algorithm: algo})
-		if !errors.Is(err, ErrUnsupported) {
-			t.Errorf("algo=%d: err = %v, want ErrUnsupported", algo, err)
-		}
-		var ce *ClipError
-		if !errors.As(err, &ce) {
-			t.Errorf("algo=%d: err is not a *ClipError", algo)
-		}
-		if out != nil {
-			t.Errorf("algo=%d: got non-nil result with error", algo)
+	want := map[FillRule]float64{NonZero: 28, Positive: 28, Negative: 0, EvenOdd: 24}
+	for _, algo := range []Algorithm{AlgoOverlay, AlgoSlabs, AlgoScanbeam, AlgoSequential} {
+		for rule, area := range want {
+			out, st, err := ClipCtx(context.Background(), p, frame, Intersection,
+				Options{Rule: rule, Algorithm: algo, NoFallback: true})
+			if err != nil {
+				t.Errorf("algo=%d rule=%v: %v", algo, rule, err)
+				continue
+			}
+			if math.Abs(Area(out)-area) > 1e-6 {
+				t.Errorf("algo=%d rule=%v: area = %v, want %v", algo, rule, Area(out), area)
+			}
+			if len(st.Resilience.Attempts) != 1 || !strings.HasSuffix(st.Resilience.Attempts[0], ":ok") {
+				t.Errorf("algo=%d rule=%v: attempts %v, want one clean attempt", algo, rule, st.Resilience.Attempts)
+			}
 		}
 	}
 }

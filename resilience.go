@@ -90,8 +90,9 @@ var chains = map[Algorithm][]chainStep{
 //  3. The result is audited against cheap invariants (well-formed finite
 //     rings, op-specific area bound). On a panic or failed audit the clip
 //     is retried once on a 1024x coarser snap grid, then handed to a
-//     different engine entirely (sequential Vatti for even-odd). Every
-//     attempt and its outcome is recorded in Stats.Resilience.Attempts.
+//     different engine entirely (the sequential Vatti sweep, which serves
+//     every fill rule). Every attempt and its outcome is recorded in
+//     Stats.Resilience.Attempts.
 //
 // The returned error is non-nil only when the inputs are invalid, ctx was
 // cancelled, or every engine of the chain failed. Stats is always non-nil.

@@ -333,50 +333,38 @@ func TestScanbeamAndSequentialChains(t *testing.T) {
 	}
 }
 
-// TestChainTableDepth pins the declarative chain table's shape: under
-// capability filtering — including the altOnly backfill paths — every
-// supported Algorithm/rule combination resolves to a chain exactly three
-// attempts deep, and an unsupported primary is a typed ErrUnsupported. The
-// serve layer's degraded mode budgets on this depth.
+// TestChainTableDepth pins the declarative chain table's shape: every engine
+// now implements every fill rule, so every Algorithm/rule combination
+// resolves to the same full chain exactly three attempts deep — no
+// capability filtering ever drops a step. The serve layer's degraded mode
+// budgets on this depth. The filtering/altOnly machinery itself is exercised
+// separately with a synthetic parity-only registry entry in the engine
+// package tests.
 func TestChainTableDepth(t *testing.T) {
 	sq := rect(0, 0, 4, 4)
-	cases := []struct {
-		algo  Algorithm
-		rule  FillRule
-		names []string // nil means expect ErrUnsupported
-	}{
-		{AlgoOverlay, EvenOdd, []string{"overlay", "overlay-coarse", "vatti"}},
-		{AlgoSlabs, EvenOdd, []string{"slabs", "overlay-coarse", "vatti"}},
-		{AlgoScanbeam, EvenOdd, []string{"scanbeam", "overlay-coarse", "vatti"}},
-		{AlgoSequential, EvenOdd, []string{"vatti", "overlay", "overlay-coarse"}},
-		// NonZero: only the overlay engine qualifies, so vatti is dropped
-		// and the altOnly overlay-seq step backfills the third slot.
-		{AlgoOverlay, NonZero, []string{"overlay", "overlay-coarse", "overlay-seq"}},
-		{AlgoSlabs, NonZero, nil},
-		{AlgoScanbeam, NonZero, nil},
-		{AlgoSequential, NonZero, nil},
+	chainsByAlgo := map[Algorithm][]string{
+		AlgoOverlay:    {"overlay", "overlay-coarse", "vatti"},
+		AlgoSlabs:      {"slabs", "overlay-coarse", "vatti"},
+		AlgoScanbeam:   {"scanbeam", "overlay-coarse", "vatti"},
+		AlgoSequential: {"vatti", "overlay", "overlay-coarse"},
 	}
-	for _, tc := range cases {
-		chain, err := attemptChain(sq, sq, Intersection, Options{Algorithm: tc.algo, Rule: tc.rule})
-		if tc.names == nil {
-			if !errors.Is(err, ErrUnsupported) {
-				t.Errorf("algo %d rule %v: err = %v, want ErrUnsupported", tc.algo, tc.rule, err)
+	for algo, names := range chainsByAlgo {
+		for _, rule := range []FillRule{EvenOdd, NonZero, Positive, Negative} {
+			chain, err := attemptChain(sq, sq, Intersection, Options{Algorithm: algo, Rule: rule})
+			if err != nil {
+				t.Errorf("algo %d rule %v: %v", algo, rule, err)
+				continue
 			}
-			continue
-		}
-		if err != nil {
-			t.Errorf("algo %d rule %v: %v", tc.algo, tc.rule, err)
-			continue
-		}
-		if len(chain) != 3 {
-			t.Errorf("algo %d rule %v: chain depth %d, want 3", tc.algo, tc.rule, len(chain))
-		}
-		for i, want := range tc.names {
-			if i >= len(chain) {
-				break
+			if len(chain) != 3 {
+				t.Errorf("algo %d rule %v: chain depth %d, want 3", algo, rule, len(chain))
 			}
-			if chain[i].name != want {
-				t.Errorf("algo %d rule %v: attempt %d is %q, want %q", tc.algo, tc.rule, i, chain[i].name, want)
+			for i, want := range names {
+				if i >= len(chain) {
+					break
+				}
+				if chain[i].name != want {
+					t.Errorf("algo %d rule %v: attempt %d is %q, want %q", algo, rule, i, chain[i].name, want)
+				}
 			}
 		}
 	}
@@ -396,7 +384,10 @@ func TestChainTableDegraded(t *testing.T) {
 		{AlgoOverlay, EvenOdd, []string{"overlay-coarse", "vatti", "overlay-seq"}},
 		{AlgoSlabs, EvenOdd, []string{"overlay-coarse", "vatti", "overlay-seq"}},
 		{AlgoSequential, EvenOdd, []string{"vatti", "overlay-coarse"}},
-		{AlgoOverlay, NonZero, []string{"overlay-coarse", "overlay-seq"}},
+		// Winding rules keep the full degraded chain: vatti hosts them now.
+		{AlgoOverlay, NonZero, []string{"overlay-coarse", "vatti", "overlay-seq"}},
+		{AlgoScanbeam, Positive, []string{"overlay-coarse", "vatti", "overlay-seq"}},
+		{AlgoSlabs, Negative, []string{"overlay-coarse", "vatti", "overlay-seq"}},
 	}
 	for _, tc := range cases {
 		chain, err := attemptChain(sq, sq, Intersection, Options{Algorithm: tc.algo, Rule: tc.rule, Degraded: true})

@@ -18,9 +18,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== coverage floor (vatti, arrange, engine, scanbeam, serve >= ${COVER_FLOOR:-80}%)"
+echo "== coverage floor (vatti, arrange, engine, scanbeam, serve, core, overlay >= ${COVER_FLOOR:-80}%)"
 COVER_FLOOR="${COVER_FLOOR:-80}"
-for pkg in ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/; do
+for pkg in ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/ ./internal/core/ ./internal/overlay/; do
 	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
 	if [ -z "$pct" ]; then
 		echo "could not parse coverage for $pkg" >&2
@@ -70,5 +70,8 @@ go run ./cmd/chaos -seed "$CHAOS_SEED" -cases "$CHAOS_CASES"
 
 echo "== chaos (seed $CHAOS_SEED, $CHAOS_CASES cases, faulted)"
 go run ./cmd/chaos -seed "$CHAOS_SEED" -cases "$CHAOS_CASES" -faults
+
+echo "== chaos (seed 7, 320 cases, degenerate taxonomy: exact coincidences, all rules)"
+go run ./cmd/chaos -seed 7 -cases 320 -family degenerate
 
 echo "all checks passed"
