@@ -3,12 +3,12 @@ FUZZ_TARGETS := FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip FuzzClipAllEngin
 CHAOS_SEED ?= 1
 CHAOS_CASES ?= 200
 COVER_FLOOR ?= 80
-COVER_PKGS := ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/ ./internal/core/ ./internal/overlay/
+COVER_PKGS := ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/ ./internal/core/ ./internal/overlay/ ./internal/pool/ ./internal/par/
 
 PROFILE_EXP ?= table2
 PROFILE_DIR ?= /tmp/polyclip-prof
 
-.PHONY: check build vet test cover race differential conformance fuzz chaos profile clipd loadtest
+.PHONY: check build vet test cover race differential conformance fuzz chaos profile clipd loadtest bench scaling
 
 check: vet build test cover race differential conformance fuzz chaos
 
@@ -76,6 +76,18 @@ chaos:
 	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases $(CHAOS_CASES) -faults
 	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases 60 -faults -budget 500ms
 	go run ./cmd/chaos -seed 7 -cases 320 -family degenerate
+
+# Short scaling smoke: one iteration of the two scaling benchmarks at 1 and
+# 2 workers — enough to catch a pool regression (deadlock, lost task, gross
+# slowdown) in CI without paying for a statistically meaningful run.
+bench:
+	go test -run='^$$' -bench='Fig8SlabClipPair|AlgorithmOne' -benchtime=1x -cpu 1,2 .
+
+# Full scaling curve: Fig8SlabClipPair and AlgorithmOne at 1/2/4/8 workers,
+# recorded to BENCH_scaling.json with the host's core count (the honest
+# context for interpreting the curve — see EXPERIMENTS.md).
+scaling:
+	sh scripts/bench_scaling.sh
 
 # Build the serving daemon.
 clipd:

@@ -274,9 +274,11 @@ func BenchmarkAblationEngines(b *testing.B) {
 }
 
 // BenchmarkAlgorithmOne measures the fully parallel scanbeam pipeline.
+// The thread ladder matches BenchmarkFig8SlabClipPair so scripts/
+// bench_scaling.sh can record one scaling curve per algorithm.
 func BenchmarkAlgorithmOne(b *testing.B) {
 	subject, clip := data.SyntheticPair(10, 4000, 4000)
-	for _, p := range []int{1, 4} {
+	for _, p := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("threads=%d", p), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.AlgorithmOne(subject, clip, core.Intersection, p)

@@ -35,7 +35,7 @@ import (
 // the result's rings cross only at shared vertices. Inputs that are already
 // resolved are returned unchanged, without copying.
 func Resolve(p geom.Polygon) geom.Polygon {
-	out, changed := resolve([]geom.Polygon{p}, false)
+	out, _, changed := resolve([]geom.Polygon{p}, false)
 	if !changed {
 		return p
 	}
@@ -50,7 +50,7 @@ func Resolve(p geom.Polygon) geom.Polygon {
 // by parity, destroying the winding multiplicity a signed-count walk needs;
 // a downstream sweep still meets crossings only at shared exact vertices.
 func ResolveWinding(p geom.Polygon) geom.Polygon {
-	out, changed := resolve([]geom.Polygon{p}, true)
+	out, _, changed := resolve([]geom.Polygon{p}, true)
 	if !changed {
 		return p
 	}
@@ -64,18 +64,35 @@ func ResolveWinding(p geom.Polygon) geom.Polygon {
 // shared exact vertices. Operand pairs that only touch at shared vertices
 // (or not at all) are returned unchanged, without copying.
 func ResolvePair(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
-	out, changed := resolve([]geom.Polygon{a, b}, false)
+	a, b, _ = ResolvePairEstimate(a, b)
+	return a, b
+}
+
+// ResolvePairEstimate is ResolvePair returning, in addition, the number of
+// non-disjoint candidate pairs the fused pre-scan evaluated — an estimate of
+// the arrangement's intersection count k, available for free because the
+// pre-scan already computes every candidate's exact intersection. It is the
+// output-size signal the paper's output-sensitive processor allocation keys
+// on: internal/core derives its slab count from it instead of from a fixed
+// multiple of the thread count. The count is an estimate, not an exact k —
+// candidates spanning several grid cells are streamed (and so counted) more
+// than once, and endpoint touches count alongside genuine crossings, so
+// consecutive ring edges floor it at roughly the edge count even for
+// disjoint operands — but it grows with arrangement density, which is all a
+// slab heuristic needs.
+func ResolvePairEstimate(a, b geom.Polygon) (geom.Polygon, geom.Polygon, int) {
+	out, k, changed := resolve([]geom.Polygon{a, b}, false)
 	if !changed {
-		return a, b
+		return a, b, k
 	}
-	return out[0], out[1]
+	return out[0], out[1], k
 }
 
 // ResolvePairWinding is ResolvePair for winding-rule sweeps: joint
 // split-and-weld with ring directions preserved (no even-odd re-extraction of
 // self-intersecting operands — see ResolveWinding).
 func ResolvePairWinding(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
-	out, changed := resolve([]geom.Polygon{a, b}, true)
+	out, _, changed := resolve([]geom.Polygon{a, b}, true)
 	if !changed {
 		return a, b
 	}
@@ -85,9 +102,11 @@ func ResolvePairWinding(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
 // resolve is the shared implementation: ops is one polygon (Resolve) or an
 // operand pair (ResolvePair). winding keeps the rebuilt rings of
 // self-intersecting operands directed as given instead of re-extracting
-// their even-odd boundary. The boolean reports whether anything changed;
-// when false the caller keeps its originals and no allocation is retained.
-func resolve(ops []geom.Polygon, winding bool) ([]geom.Polygon, bool) {
+// their even-odd boundary. The int counts the non-disjoint candidate pairs
+// the pre-scan evaluated (see ResolvePairEstimate). The boolean reports
+// whether anything changed; when false the caller keeps its originals and
+// no allocation is retained.
+func resolve(ops []geom.Polygon, winding bool) ([]geom.Polygon, int, bool) {
 	// Flatten every ring of every operand into one edge soup, remembering
 	// which operand each edge belongs to so self-intersection is detected
 	// per operand.
@@ -113,7 +132,7 @@ func resolve(ops []geom.Polygon, winding bool) ([]geom.Polygon, bool) {
 		}
 	}
 	if len(segs) < 2 {
-		return ops, false
+		return ops, 0, false
 	}
 
 	// Fast-path pre-scan fused with cut collection: stream the grid finder's
@@ -136,12 +155,14 @@ func resolve(ops []geom.Polygon, winding bool) ([]geom.Polygon, bool) {
 	var cuts [][]geom.Point
 	var selfX [2]bool
 	anySelf := false
+	crossings := 0
 	isect.VisitCandidatePairs(segs, func(i, j int32) bool {
 		si, sj := segs[i], segs[j]
 		kind, p0, p1 := geom.SegIntersection(si, sj)
 		if kind == geom.Disjoint {
 			return true
 		}
+		crossings++
 		pts := [2]geom.Point{p0, p1}
 		npts := 1
 		if kind == geom.Overlapping {
@@ -172,7 +193,7 @@ func resolve(ops []geom.Polygon, winding bool) ([]geom.Polygon, bool) {
 		return true
 	})
 	if cuts == nil && !anySelf {
-		return ops, false
+		return ops, crossings, false
 	}
 	if cuts == nil {
 		// Collinear same-owner overlaps with no interior split still force
@@ -249,7 +270,7 @@ func resolve(ops []geom.Polygon, winding bool) ([]geom.Polygon, bool) {
 			}
 		}
 	}
-	return out, true
+	return out, crossings, true
 }
 
 // ringCollinear reports whether every vertex of r lies on one line (the

@@ -293,6 +293,18 @@ var faultPlans = []struct {
 	{"par.worker", kindPanic},
 	{"par.sort", kindPanic},
 	{"par.prefixsum", kindPanic},
+	// Scheduler sites: crash a pooled worker at submission, inside a task,
+	// and on a cross-deque steal, plus hang a pooled task. The pool must
+	// capture each on the owning batch and route it up the same resilience
+	// chain as the par.* sites — a dead persistent worker (unlike the old
+	// per-call goroutines) would poison every later clip in the process.
+	// The steal site is reached only when a second worker claims from a
+	// loaded deque, which a 1-core host may never do; an unfired one-shot
+	// fault is an accepted outcome of the run, like any unreached site.
+	{"pool.submit", kindPanic},
+	{"pool.run", kindPanic},
+	{"pool.steal", kindPanic},
+	{"pool.run", kindHang},
 	{"segtree.build", kindPanic},
 	{"isect.pairs", kindPanic},
 	{"ringstitch.stitch", kindPanic},

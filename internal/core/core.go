@@ -85,7 +85,10 @@ type Options struct {
 	// Threads is the number of concurrent workers; <= 0 means GOMAXPROCS.
 	Threads int
 	// Slabs is the number of horizontal slabs the input is decomposed
-	// into; 0 means one per thread. Setting Slabs > Threads measures true
+	// into; 0 derives the count from the input itself (see
+	// adaptiveSlabCount): the arrangement pre-scan's event and crossing
+	// counts buy slabs up to twice the thread count, and small inputs
+	// collapse to one slab. Setting Slabs > Threads measures true
 	// per-slab costs with limited concurrency (used by the experiment
 	// harness to model scaling beyond the host's core count: per-slab
 	// timers are only CPU-attributable when workers do not outnumber
@@ -283,9 +286,6 @@ func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (ge
 		p = par.DefaultParallelism()
 	}
 	nslabs := opt.Slabs
-	if nslabs <= 0 {
-		nslabs = p
-	}
 	st := &Stats{}
 	snapEps := geom.AutoSnapEps(a, b)
 	// Decompose the resolved, snapped pair — the same pre-pass every other
@@ -302,9 +302,11 @@ func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (ge
 	// the caps they produce quantize identically in adjacent hosts) and
 	// every cut still passes exactly through the vertices that generated
 	// it, which seam cancellation in the merge relies on.
-	a, b = arrange.ResolvePair(a, b)
+	var crossings int
+	a, b, crossings = arrange.ResolvePairEstimate(a, b)
 	a = geom.SnapPolygon(a, snapEps)
 	b = geom.SnapPolygon(b, snapEps)
+	st.CrossingEstimate = crossings
 	eng := slabEngine(opt)
 
 	// Step 1–2: event schedule.
@@ -327,6 +329,9 @@ func ClipPairCtx(ctx context.Context, a, b geom.Polygon, op Op, opt Options) (ge
 		return out, st, ctx.Err()
 	}
 
+	if nslabs <= 0 {
+		nslabs = adaptiveSlabCount(p, len(ys), crossings)
+	}
 	bounds := pruneThinSlabs(slabBoundaries(ys, nslabs, opt.Partition), snapEps)
 	ns := len(bounds) - 1
 	st.Slabs = ns
@@ -466,6 +471,35 @@ func eventYs(a, b geom.Polygon, p int) []float64 {
 		}
 	}
 	return out
+}
+
+// minSlabWork is the event-plus-crossing count one slab is worth creating
+// for: below it, the fixed per-slab cost (two bandclip passes over the full
+// operands, a slab host, a merge seam) exceeds the sweep work the slab
+// carries.
+const minSlabWork = 256
+
+// adaptiveSlabCount derives the slab count from the input's measured size
+// instead of a fixed multiple of the thread count — the output-sensitive
+// processor allocation of the paper's Step 3, with the arrangement
+// pre-scan's crossing estimate standing in for k. work = events + crossings
+// buys one slab per minSlabWork units, clamped to [1, 2p]: small inputs
+// collapse to a single slab (skipping partition and merge entirely), dense
+// inputs oversubscribe to 2p slabs so stealing can rebalance skewed slabs,
+// and p == 1 always means one slab, keeping the sequential path identical
+// to the pre-pool pipeline.
+func adaptiveSlabCount(p, events, crossings int) int {
+	if p <= 1 {
+		return 1
+	}
+	ns := (events + crossings) / minSlabWork
+	if ns < 1 {
+		ns = 1
+	}
+	if ns > 2*p {
+		ns = 2 * p
+	}
+	return ns
 }
 
 // pruneThinSlabs drops interior slab boundaries that would leave a slab

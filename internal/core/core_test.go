@@ -60,7 +60,9 @@ func TestClipPairMergeModes(t *testing.T) {
 	b := geom.Polygon{geom.RegularPolygon(geom.Point{X: 2, Y: 1}, 5, 18, 0.4)}
 	want := seqArea(a, b, Union)
 	for _, mode := range []MergeMode{MergeStitch, MergeConcat, MergeUnionTree} {
-		got, _ := ClipPair(a, b, Union, Options{Threads: 4, Merge: mode})
+		// Slabs pinned: these small inputs collapse to one slab under the
+		// adaptive count, and the merge modes only run across slab seams.
+		got, _ := ClipPair(a, b, Union, Options{Threads: 4, Slabs: 4, Merge: mode})
 		// MergeConcat leaves seams: even-odd area preserved; rings may
 		// include seam edges, so normalize via the overlay engine.
 		area := got.Area()
@@ -78,7 +80,7 @@ func TestClipPairMergeModes(t *testing.T) {
 func TestClipPairMergeStitchRemovesSeams(t *testing.T) {
 	a := geom.Polygon{geom.RegularPolygon(geom.Point{X: 0, Y: 0}, 5, 32, 0.1)}
 	b := geom.Polygon{geom.RegularPolygon(geom.Point{X: 1, Y: 1}, 5, 32, 0.2)}
-	got, st := ClipPair(a, b, Intersection, Options{Threads: 4, Merge: MergeStitch})
+	got, st := ClipPair(a, b, Intersection, Options{Threads: 4, Slabs: 4, Merge: MergeStitch})
 	if st.Slabs < 2 {
 		t.Skip("partitioning produced a single slab")
 	}
@@ -92,7 +94,7 @@ func TestClipPairPartitionModes(t *testing.T) {
 	b := geom.Polygon{geom.Star(geom.Point{X: 1, Y: 0}, 5, 2, 14, 0.9)}
 	want := seqArea(a, b, Xor)
 	for _, pm := range []PartitionMode{PartitionEvents, PartitionUniform} {
-		got, _ := ClipPair(a, b, Xor, Options{Threads: 5, Partition: pm})
+		got, _ := ClipPair(a, b, Xor, Options{Threads: 5, Slabs: 5, Partition: pm})
 		if math.Abs(got.Area()-want) > 1e-6*(1+want) {
 			t.Errorf("partition=%d: got %v want %v", pm, got.Area(), want)
 		}

@@ -12,13 +12,17 @@ import "time"
 type Stats struct {
 	// Engine is the registry name of the engine that produced the accepted
 	// result, recorded by the resilience chain.
-	Engine    string          `json:"engine,omitempty"`
-	Slabs     int             `json:"slabs"`                 // number of slabs actually used
-	Sort      time.Duration   `json:"sortNs"`                // Step 1–2: event sort
-	Partition time.Duration   `json:"partitionNs"`           // Steps 4–5: rectangle clipping into slabs
-	Clip      time.Duration   `json:"clipNs"`                // Step 6: per-slab clipping (wall clock)
-	Merge     time.Duration   `json:"mergeNs"`               // Step 8: merging partial outputs
-	PerThread []time.Duration `json:"perThreadNs,omitempty"` // per-slab clip time (Fig. 11 load balance)
+	Engine string `json:"engine,omitempty"`
+	Slabs  int    `json:"slabs"` // number of slabs actually used
+	// CrossingEstimate is the arrangement pre-scan's intersection-count
+	// estimate (arrange.ResolvePairEstimate) that the adaptive slab count is
+	// derived from; 0 when the engine does not run the pre-scan.
+	CrossingEstimate int             `json:"crossingEstimate,omitempty"`
+	Sort             time.Duration   `json:"sortNs"`                // Step 1–2: event sort
+	Partition        time.Duration   `json:"partitionNs"`           // Steps 4–5: rectangle clipping into slabs
+	Clip             time.Duration   `json:"clipNs"`                // Step 6: per-slab clipping (wall clock)
+	Merge            time.Duration   `json:"mergeNs"`               // Step 8: merging partial outputs
+	PerThread        []time.Duration `json:"perThreadNs,omitempty"` // per-slab clip time (Fig. 11 load balance)
 	// Resilience records what the hardened clipping path did: input repair,
 	// the engine attempts and their outcomes, and recovered worker panics.
 	Resilience Resilience `json:"resilience"`

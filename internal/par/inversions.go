@@ -156,15 +156,11 @@ func countRecPar(xs, buf []int, depth int) int64 {
 		return countRec(xs, buf)
 	}
 	mid := n / 2
-	var left int64
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		left = countRecPar(xs[:mid], buf[:mid], depth-1)
-	}()
-	right := countRecPar(xs[mid:], buf[mid:], depth-1)
-	wg.Wait()
+	var left, right int64
+	join2(
+		func() { left = countRecPar(xs[:mid], buf[:mid], depth-1) },
+		func() { right = countRecPar(xs[mid:], buf[mid:], depth-1) },
+	)
 	inv := left + right + countMerge(xs[:mid], xs[mid:], buf)
 	copy(xs, buf)
 	return inv
@@ -259,14 +255,11 @@ func ParallelReportInversions(xs []int, p int) []InvPair {
 		mid := len(w) / 2
 		var left []InvPair
 		if depth > 0 && len(w) > sortSerialCutoff {
-			var wg sync.WaitGroup
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				left = rec(w[:mid], b[:mid], depth-1)
-			}()
-			right := rec(w[mid:], b[mid:], depth-1)
-			wg.Wait()
+			var right []InvPair
+			join2(
+				func() { left = rec(w[:mid], b[:mid], depth-1) },
+				func() { right = rec(w[mid:], b[mid:], depth-1) },
+			)
 			left = append(left, right...)
 		} else {
 			left = rec(w[:mid], b[:mid], 0)

@@ -10,9 +10,9 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sync"
 
 	"polyclip/internal/guard"
+	"polyclip/internal/pool"
 )
 
 // PanicError wraps a panic recovered in a parallel worker goroutine,
@@ -71,14 +71,26 @@ func normalize(p int) int {
 }
 
 // ForEach splits [0, n) into at most p contiguous chunks and runs fn on each
-// chunk concurrently. fn receives the half-open range [lo, hi). ForEach
-// returns when all chunks are done. With p == 1 (or n small) it degenerates
-// to a direct call, adding no goroutine overhead.
+// chunk concurrently on the process-wide work-stealing pool (internal/pool):
+// the chunks are forked as pool tasks and the calling goroutine helps run
+// them while it waits, so no goroutines are spawned per call and idle
+// workers steal chunks from loaded ones. fn receives the half-open range
+// [lo, hi). ForEach returns when all chunks are done. With p == 1 (or n
+// small) it degenerates to a direct call, touching no scheduler state.
 //
-// A panic in a worker goroutine does not crash the process: the first one is
-// captured and re-raised on the calling goroutine as a *PanicError after all
-// workers finish, where callers (or the hardened public API) can recover it.
+// A panic in a worker does not crash the process: the pool captures the
+// first one and ForEach re-raises it on the calling goroutine as a
+// *PanicError after all chunks finish, where callers (or the hardened
+// public API) can recover it.
 func ForEach(n, p int, fn func(lo, hi int)) {
+	forEachPooled(nil, n, p, fn)
+}
+
+// forEachPooled is the shared chunking front of ForEach/ForEachCtx. A
+// non-nil ctx makes chunks that have not started when ctx is done be
+// skipped by the pool (running chunks poll ctx themselves, per the
+// pipeline convention), so an abandoned stage stops consuming workers.
+func forEachPooled(ctx context.Context, n, p int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -91,35 +103,30 @@ func ForEach(n, p int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	var panicOnce sync.Once
-	var pe *PanicError
 	chunk := (n + p - 1) / p
-	for lo := 0; lo < n; lo += chunk {
+	nchunks := (n + chunk - 1) / chunk
+	raise(pool.Fork(ctx, nchunks, func(ci int) {
+		lo := ci * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					w, ok := r.(*PanicError)
-					if !ok {
-						w = &PanicError{Value: r, Stack: debug.Stack()}
-					}
-					panicOnce.Do(func() { pe = w })
-				}
-			}()
-			guard.Hit("par.worker")
-			fn(lo, hi)
-		}(lo, hi)
+		guard.Hit("par.worker")
+		fn(lo, hi)
+	}))
+}
+
+// raise re-raises a pool-captured panic as a *PanicError on the calling
+// goroutine, passing an already-wrapped nested PanicError through unchanged
+// so the deepest capture keeps its original stack.
+func raise(pe *pool.Panic) {
+	if pe == nil {
+		return
 	}
-	wg.Wait()
-	if pe != nil {
-		panic(pe)
+	if w, ok := pe.Value.(*PanicError); ok {
+		panic(w)
 	}
+	panic(&PanicError{Value: pe.Value, Stack: pe.Stack})
 }
 
 // Run executes fn on its own goroutine and waits for it to finish or for ctx
@@ -166,11 +173,33 @@ func Run(ctx context.Context, fn func()) error {
 // is returned instead of blocking forever. Abandoned workers keep running;
 // see Run for the buffer-reuse contract. Unlike ForEach, even p == 1 runs on
 // a separate goroutine so a sequential retry remains abandonable.
+//
+// The pooled loop additionally passes ctx into the fork, so chunks that
+// have not started when ctx fires are skipped instead of executed — an
+// abandoned stage frees its pool workers promptly instead of wedging them
+// on doomed work. Because skipping can complete the batch with only part
+// of the range visited, a done ctx is always reported as a *StallError
+// even when the fork itself finished, keeping the contract that a nil
+// return means every index ran.
 func ForEachCtx(ctx context.Context, n, p int, fn func(lo, hi int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
-	return Run(ctx, func() { ForEach(n, p, fn) })
+	if err := Run(ctx, func() { forEachPooled(ctx, n, p, fn) }); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return &StallError{Err: err}
+	}
+	return nil
+}
+
+// join2 runs left and right as a two-task pool batch — the binary fork-join
+// node of the parallel mergesorts. The caller helps run the batch (popping
+// its own deque first), so recursion nests without consuming workers, and a
+// panic in either side is re-raised here as a *PanicError.
+func join2(left, right func()) {
+	raise(pool.Join2(left, right))
 }
 
 // ForEachGrain is ForEach with a minimum chunk size: no worker receives

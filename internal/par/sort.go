@@ -2,7 +2,6 @@ package par
 
 import (
 	"slices"
-	"sync"
 
 	"polyclip/internal/guard"
 )
@@ -61,14 +60,10 @@ func mergeSort[T any](xs, buf []T, less func(a, b T) bool, depth int) {
 		return
 	}
 	mid := n / 2
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		mergeSort(xs[:mid], buf[:mid], less, depth-1)
-	}()
-	mergeSort(xs[mid:], buf[mid:], less, depth-1)
-	wg.Wait()
+	join2(
+		func() { mergeSort(xs[:mid], buf[:mid], less, depth-1) },
+		func() { mergeSort(xs[mid:], buf[mid:], less, depth-1) },
+	)
 	merge(xs[:mid], xs[mid:], buf, less)
 	copy(xs, buf)
 }

@@ -10,6 +10,7 @@ package ringstitch
 
 import (
 	"math"
+	"sort"
 
 	"polyclip/internal/geom"
 	"polyclip/internal/guard"
@@ -171,5 +172,16 @@ func CancelOpposites(edges []Edge) []Edge {
 			out = append(out, Edge{b, a})
 		}
 	}
+	// The map iteration above is randomized per process, and Stitch starts
+	// rings at the first unused edge in slice order, so without a canonical
+	// order here the same input yields a differently-rotated (though
+	// geometrically identical) ring on every run. Sort so clip output is a
+	// pure function of the input.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From.Less(out[j].From)
+		}
+		return out[i].To.Less(out[j].To)
+	})
 	return out
 }

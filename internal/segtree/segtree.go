@@ -93,6 +93,20 @@ func Build(boundaries []float64, n int, span func(i int32) Interval, p int) *Tre
 			})
 		}
 	})
+
+	// Phase 3: canonicalize every cover list. The slot order above is the
+	// workers' arrival order — a property of the scheduler, not the input —
+	// and it would otherwise leak through BeamReport into per-beam edge
+	// order and from there into output ring starting vertices, making clip
+	// output vary run to run. Ascending edge id is exactly the order a
+	// sequential (p = 1) build produces, so the tree is one deterministic
+	// structure at every parallelism degree.
+	par.ForEachItem(2*leaves, p, func(node int) {
+		c := t.cover[node]
+		if len(c) > 1 {
+			sort.Slice(c, func(x, y int) bool { return c[x] < c[y] })
+		}
+	})
 	return t
 }
 

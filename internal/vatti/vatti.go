@@ -165,11 +165,21 @@ func Assemble(tzs []Trapezoid) geom.Polygon {
 
 	edges := ringstitch.CancelOpposites(sides)
 
-	// Per boundary: net coverage sweep over the interval endpoints. The
-	// endpoint and coverage buffers are reused across boundaries.
+	// Per boundary: net coverage sweep over the interval endpoints, in
+	// ascending y — the caps map's iteration order is randomized per
+	// process, and the emission order below decides where Stitch starts
+	// each output ring, so iterating the map directly would rotate rings
+	// differently on every run. The endpoint and coverage buffers are
+	// reused across boundaries.
+	capYs := make([]float64, 0, len(caps))
+	for y := range caps {
+		capYs = append(capYs, y)
+	}
+	sort.Float64s(capYs)
 	var xs []float64
 	var net []int
-	for y, ivs := range caps {
+	for _, y := range capYs {
+		ivs := caps[y]
 		xs = xs[:0]
 		for _, iv := range ivs {
 			xs = append(xs, iv.x0, iv.x1)

@@ -18,9 +18,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== coverage floor (vatti, arrange, engine, scanbeam, serve, core, overlay >= ${COVER_FLOOR:-80}%)"
+echo "== coverage floor (vatti, arrange, engine, scanbeam, serve, core, overlay, pool, par >= ${COVER_FLOOR:-80}%)"
 COVER_FLOOR="${COVER_FLOOR:-80}"
-for pkg in ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/ ./internal/core/ ./internal/overlay/; do
+for pkg in ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/ ./internal/core/ ./internal/overlay/ ./internal/pool/ ./internal/par/; do
 	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
 	if [ -z "$pct" ]; then
 		echo "could not parse coverage for $pkg" >&2
@@ -33,8 +33,8 @@ for pkg in ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/s
 	echo "$pkg: ${pct}%"
 done
 
-echo "== go test -race ./internal/par (fan-out edge cases first: fast signal)"
-go test -race ./internal/par/
+echo "== go test -race ./internal/pool ./internal/par (scheduler battery + fan-out edges first: fast signal)"
+go test -race ./internal/pool/ ./internal/par/
 
 echo "== adversarial predicates vs exact oracle under -race"
 go test -race -run 'Adversarial|MatchesOrientOracle' ./internal/geom/
