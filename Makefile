@@ -3,12 +3,12 @@ FUZZ_TARGETS := FuzzParseWKT FuzzParseGeoJSON FuzzClipRoundTrip FuzzClipAllEngin
 CHAOS_SEED ?= 1
 CHAOS_CASES ?= 200
 COVER_FLOOR ?= 80
-COVER_PKGS := ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/ ./internal/core/ ./internal/overlay/ ./internal/pool/ ./internal/par/
+COVER_PKGS := ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/ ./internal/core/ ./internal/overlay/ ./internal/pool/ ./internal/par/ ./internal/batch/ ./internal/acache/
 
 PROFILE_EXP ?= table2
 PROFILE_DIR ?= /tmp/polyclip-prof
 
-.PHONY: check build vet test cover race differential conformance fuzz chaos profile clipd loadtest bench scaling
+.PHONY: check build vet test cover race differential conformance fuzz chaos profile clipd loadtest bench scaling overlay-bench
 
 check: vet build test cover race differential conformance fuzz chaos
 
@@ -88,6 +88,13 @@ bench:
 # context for interpreting the curve — see EXPERIMENTS.md).
 scaling:
 	sh scripts/bench_scaling.sh
+
+# Million-feature batch overlay benchmark: cold + warm runs through the
+# arrangement cache, recorded to BENCH_overlay.json with an embedded
+# contract gate (warm repeated-operand run >= 2x cold). Tune with
+# OVERLAY_FEATURES / OVERLAY_REPEAT.
+overlay-bench:
+	sh scripts/bench_overlay.sh
 
 # Build the serving daemon.
 clipd:

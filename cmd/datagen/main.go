@@ -5,7 +5,14 @@
 //
 //	datagen -dataset ne_10m_urban_areas -scale 0.01 -o urban.wkt
 //	datagen -pair 50000 -o pair.wkt         # §V-A synthetic subject+clip
+//	datagen -features 1000000 -repeat 0.5   # batch-overlay feature set
 //	datagen -list                           # show Table III descriptors
+//
+// The -features mode emits the million-feature batch-overlay workload:
+// many small features with a tunable MBR distribution (-dist uniform,
+// clustered, or mixed) and a repeated-operand fraction (-repeat) for the
+// arrangement-cache benchmark. Output is WKT by default; -format ndjson
+// emits newline-delimited GeoJSON instead.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"os"
 
 	"polyclip/internal/data"
+	"polyclip/internal/geojson"
 	"polyclip/internal/wkt"
 )
 
@@ -22,6 +30,11 @@ func main() {
 	dataset := flag.String("dataset", "", "Table III dataset name to synthesize")
 	scale := flag.Float64("scale", 0.01, "dataset scale (1.0 = full paper size)")
 	pair := flag.Int("pair", 0, "emit a synthetic subject/clip pair with this many edges each")
+	features := flag.Int("features", 0, "emit a batch-overlay feature set with this many features")
+	dist := flag.String("dist", "mixed", "feature MBR distribution: uniform, clustered, mixed")
+	repeat := flag.Float64("repeat", 0, "fraction of features that are exact repeats (cache workload)")
+	edges := flag.Int("edges", 6, "edges per feature in -features mode")
+	format := flag.String("format", "wkt", "output format in -features mode: wkt or ndjson")
 	seed := flag.Int64("seed", 42, "random seed")
 	out := flag.String("o", "-", "output file (default stdout)")
 	list := flag.Bool("list", false, "list the Table III descriptors")
@@ -48,6 +61,29 @@ func main() {
 	defer bw.Flush()
 
 	switch {
+	case *features > 0:
+		layer := data.Features(data.FeatureOptions{
+			N: *features, Dist: *dist, RepeatFrac: *repeat, Edges: *edges, Seed: *seed,
+		})
+		switch *format {
+		case "wkt":
+			for _, f := range layer {
+				fmt.Fprintln(bw, wkt.Marshal(f))
+			}
+		case "ndjson":
+			for _, f := range layer {
+				g, err := geojson.Marshal(f)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				bw.Write(g)
+				bw.WriteByte('\n')
+			}
+		default:
+			fatalf("unknown -format %q (wkt or ndjson)", *format)
+		}
+		fmt.Fprintf(os.Stderr, "features: %d (%s, repeat %.2f, %d edges each)\n",
+			len(layer), *dist, *repeat, *edges)
 	case *pair > 0:
 		subject, clip := data.SyntheticPair(*seed, *pair, *pair)
 		fmt.Fprintln(bw, wkt.Marshal(subject))
@@ -65,7 +101,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s: %d features, %d edges, mean edge %.5f\n",
 			d.Name, st.Polys, st.Edges, st.MeanEdgeLen)
 	default:
-		fatalf("nothing to do: pass -dataset, -pair or -list")
+		fatalf("nothing to do: pass -dataset, -pair, -features or -list")
 	}
 }
 

@@ -1,0 +1,71 @@
+package batch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"polyclip/internal/geojson"
+	"polyclip/internal/geom"
+	"polyclip/internal/wkt"
+)
+
+// ReadFeatures streams one feature layer out of r, detecting the format
+// from the first non-space byte: '{' or '[' means GeoJSON (FeatureCollection
+// or newline-delimited — geojson.DecodeFeatures), anything else means WKT,
+// one geometry per non-empty line. Features are materialized (the overlay
+// needs random access for the spatial join) but the input text is never
+// buffered whole.
+func ReadFeatures(r io.Reader) ([]geom.Polygon, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	for {
+		c, err := br.ReadByte()
+		if err == io.EOF {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return nil, err
+		}
+		if c == '{' || c == '[' {
+			var out []geom.Polygon
+			err := geojson.DecodeFeatures(br, func(p geom.Polygon) error {
+				out = append(out, p)
+				return nil
+			})
+			return out, err
+		}
+		return readWKTLines(br)
+	}
+}
+
+// readWKTLines parses one WKT geometry per non-empty line.
+func readWKTLines(br *bufio.Reader) ([]geom.Polygon, error) {
+	var out []geom.Polygon
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // features can be long lines
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		p, err := wkt.Unmarshal(line)
+		if err != nil {
+			return nil, fmt.Errorf("batch: wkt line %d: %w", lineNo, err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("batch: reading line %d: %w", lineNo, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package data
+
+import (
+	"testing"
+
+	"polyclip/internal/geom"
+)
+
+func TestFeaturesDeterministicAndSized(t *testing.T) {
+	opt := FeatureOptions{N: 500, Dist: "mixed", RepeatFrac: 0.3, Seed: 7}
+	a := Features(opt)
+	b := Features(opt)
+	if len(a) != 500 {
+		t.Fatalf("got %d features, want 500", len(a))
+	}
+	for i := range a {
+		if geom.Hash(a[i]) != geom.Hash(b[i]) {
+			t.Fatalf("feature %d differs across equal-seed runs", i)
+		}
+	}
+	for i, f := range a {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("feature %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestFeaturesRepeatFraction(t *testing.T) {
+	fs := Features(FeatureOptions{N: 2000, RepeatFrac: 0.5, Seed: 3})
+	distinct := map[geom.Digest]bool{}
+	for _, f := range fs {
+		distinct[geom.Hash(f)] = true
+	}
+	// ~50% repeats: distinct count should land well under N and well above
+	// the pathological extremes.
+	if n := len(distinct); n < 800 || n > 1300 {
+		t.Fatalf("distinct=%d of 2000, want ~1000", n)
+	}
+	uniq := Features(FeatureOptions{N: 2000, RepeatFrac: 0, Seed: 3})
+	distinct = map[geom.Digest]bool{}
+	for _, f := range uniq {
+		distinct[geom.Hash(f)] = true
+	}
+	if len(distinct) != 2000 {
+		t.Fatalf("RepeatFrac=0 produced %d distinct of 2000", len(distinct))
+	}
+}
+
+func TestFeaturesDistributions(t *testing.T) {
+	for _, dist := range []string{"uniform", "clustered", "mixed"} {
+		fs := Features(FeatureOptions{N: 300, Dist: dist, Seed: 11})
+		if len(fs) != 300 {
+			t.Fatalf("%s: got %d features", dist, len(fs))
+		}
+		box := geom.EmptyBBox()
+		for _, f := range fs {
+			b := f.BBox()
+			box = box.Union(b)
+			if b.Width() <= 0 || b.Height() <= 0 {
+				t.Fatalf("%s: degenerate feature bbox", dist)
+			}
+		}
+		if box.Width() <= 0 || box.Height() <= 0 {
+			t.Fatalf("%s: degenerate layer extent", dist)
+		}
+	}
+}
+
+func TestFeaturesDefaults(t *testing.T) {
+	fs := Features(FeatureOptions{})
+	if len(fs) != 1000 {
+		t.Fatalf("default N: got %d, want 1000", len(fs))
+	}
+	if len(fs[0][0]) != 6 {
+		t.Fatalf("default edges: got %d, want 6", len(fs[0][0]))
+	}
+}

@@ -196,6 +196,14 @@ type Options struct {
 	// NoFallback disables an engine's internal rescue paths (stage retries,
 	// per-pair engine swaps), surfacing the first failure directly.
 	NoFallback bool
+	// PreResolved promises that a and b have already been through the joint
+	// arrangement resolution (arrange.ResolvePair / ResolvePairWinding for
+	// opt.Rule) — the batch overlay's arrangement cache sets it when serving
+	// cached resolved operands. Engines that honor it skip their own
+	// resolution pass; engines that ignore it merely re-resolve an already
+	// clean arrangement, which is correct and near-free (the second pass
+	// finds nothing to split).
+	PreResolved bool
 }
 
 // Result is one engine run's output.

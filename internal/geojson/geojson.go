@@ -5,6 +5,7 @@
 package geojson
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -141,25 +142,17 @@ func Unmarshal(data []byte) (geom.Polygon, error) {
 	}
 }
 
-// UnmarshalLayer parses a FeatureCollection into a feature layer.
+// UnmarshalLayer parses a FeatureCollection into a feature layer. It is a
+// buffered convenience over the streaming decoder: the features are decoded
+// one at a time off data, never materialized as a wire-form slice first.
 func UnmarshalLayer(data []byte) ([]geom.Polygon, error) {
-	var fc featureCollection
-	if err := json.Unmarshal(data, &fc); err != nil {
-		return nil, wrapJSON(err)
-	}
-	if fc.Type != "FeatureCollection" {
-		return nil, &ParseError{Offset: -1, Token: fc.Type, Msg: "expected FeatureCollection"}
-	}
 	var out []geom.Polygon
-	for i, f := range fc.Features {
-		if f.Geometry == nil {
-			continue
-		}
-		p, err := geometryToPolygon(f.Geometry)
-		if err != nil {
-			return nil, fmt.Errorf("geojson: feature %d: %w", i, err)
-		}
+	err := decodeFeatures(bytes.NewReader(data), func(p geom.Polygon) error {
 		out = append(out, p)
+		return nil
+	}, true)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,218 @@
+package geojson
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"polyclip/internal/geom"
+)
+
+// DecodeFeatures streams polygon features out of r without ever buffering
+// the document: it accepts a FeatureCollection (features are decoded one at
+// a time straight off the wire) or newline-delimited GeoJSON (a sequence of
+// Feature or Polygon/MultiPolygon values, one per line — the GeoJSONL
+// convention large GIS exports use). emit is called once per feature, in
+// document order; a non-nil error from emit aborts the decode and is
+// returned verbatim. Features with null geometry are skipped, matching
+// UnmarshalLayer.
+//
+// This is the million-feature ingestion path of the batch overlay: memory
+// stays proportional to one feature plus whatever the caller retains, not
+// to the document.
+func DecodeFeatures(r io.Reader, emit func(p geom.Polygon) error) error {
+	return decodeFeatures(r, emit, false)
+}
+
+// decodeFeatures is the shared implementation. requireCollection makes a
+// top-level value that is not a FeatureCollection an error — UnmarshalLayer
+// semantics — instead of falling back to newline-delimited mode.
+func decodeFeatures(r io.Reader, emit func(p geom.Polygon) error, requireCollection bool) error {
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err == io.EOF {
+		if requireCollection {
+			return &ParseError{Offset: -1, Msg: "empty document, expected FeatureCollection"}
+		}
+		return nil
+	}
+	if err != nil {
+		return wrapJSON(err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return &ParseError{Offset: dec.InputOffset(), Token: fmt.Sprint(tok),
+			Msg: "expected a JSON object"}
+	}
+
+	// Walk the first object's keys. Seeing "features" switches to streaming
+	// collection mode on the spot; otherwise the collected parts make the
+	// object a standalone feature/geometry and the rest of the stream is
+	// newline-delimited.
+	var typ string
+	sawType, sawFeatures := false, false
+	nEmitted := 0
+	var pendingGeom *geometry
+	var pendingCoords json.RawMessage
+	for dec.More() {
+		ktok, err := dec.Token()
+		if err != nil {
+			return wrapJSON(err)
+		}
+		key, _ := ktok.(string)
+		switch key {
+		case "type":
+			vtok, err := dec.Token()
+			if err != nil {
+				return wrapJSON(err)
+			}
+			typ, _ = vtok.(string)
+			sawType = true
+			if requireCollection && typ != "FeatureCollection" {
+				return &ParseError{Offset: -1, Token: typ, Msg: "expected FeatureCollection"}
+			}
+		case "features":
+			sawFeatures = true
+			if err := streamFeatureArray(dec, emit, &nEmitted); err != nil {
+				return err
+			}
+		case "geometry":
+			if err := dec.Decode(&pendingGeom); err != nil {
+				return wrapJSON(err)
+			}
+		case "coordinates":
+			if err := dec.Decode(&pendingCoords); err != nil {
+				return wrapJSON(err)
+			}
+		default:
+			if err := skipValue(dec); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return wrapJSON(err)
+	}
+
+	if requireCollection {
+		if typ != "FeatureCollection" {
+			return &ParseError{Offset: -1, Token: typ, Msg: "expected FeatureCollection"}
+		}
+		return nil
+	}
+	if sawFeatures || typ == "FeatureCollection" {
+		if sawType && typ != "FeatureCollection" {
+			return &ParseError{Offset: -1, Token: typ, Msg: "expected FeatureCollection"}
+		}
+		return nil
+	}
+
+	// Newline-delimited mode: emit the first object, then decode the
+	// remaining whitespace-separated values one at a time.
+	if err := emitStandalone(typ, pendingGeom, pendingCoords, emit, &nEmitted); err != nil {
+		return err
+	}
+	for {
+		var f struct {
+			Type        string          `json:"type"`
+			Geometry    *geometry       `json:"geometry"`
+			Coordinates json.RawMessage `json:"coordinates"`
+		}
+		if err := dec.Decode(&f); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return wrapJSON(err)
+		}
+		if err := emitStandalone(f.Type, f.Geometry, f.Coordinates, emit, &nEmitted); err != nil {
+			return err
+		}
+	}
+}
+
+// streamFeatureArray decodes the elements of a "features" array one Feature
+// at a time, emitting each geometry as it completes.
+func streamFeatureArray(dec *json.Decoder, emit func(p geom.Polygon) error, idx *int) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return wrapJSON(err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return &ParseError{Offset: dec.InputOffset(), Token: "features",
+			Msg: "features must be an array"}
+	}
+	for dec.More() {
+		var f feature
+		if err := dec.Decode(&f); err != nil {
+			return wrapJSON(err)
+		}
+		if f.Geometry == nil {
+			*idx++
+			continue
+		}
+		p, err := geometryToPolygon(f.Geometry)
+		if err != nil {
+			return fmt.Errorf("geojson: feature %d: %w", *idx, err)
+		}
+		*idx++
+		if err := emit(p); err != nil {
+			return err
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing ']'
+		return wrapJSON(err)
+	}
+	return nil
+}
+
+// emitStandalone converts one newline-delimited value — a Feature (geometry
+// captured in g) or a bare Polygon/MultiPolygon (coordinates captured in
+// coords) — and emits it.
+func emitStandalone(typ string, g *geometry, coords json.RawMessage, emit func(p geom.Polygon) error, idx *int) error {
+	switch typ {
+	case "Feature":
+		if g == nil {
+			*idx++
+			return nil
+		}
+	case "Polygon", "MultiPolygon":
+		g = &geometry{Type: typ, Coordinates: coords}
+	default:
+		return &ParseError{Offset: -1, Token: typ, Msg: "unsupported type"}
+	}
+	p, err := geometryToPolygon(g)
+	if err != nil {
+		return fmt.Errorf("geojson: feature %d: %w", *idx, err)
+	}
+	*idx++
+	return emit(p)
+}
+
+// skipValue consumes one complete JSON value (scalar, object, or array)
+// from the decoder without retaining it.
+func skipValue(dec *json.Decoder) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return wrapJSON(err)
+	}
+	d, ok := tok.(json.Delim)
+	if !ok || (d != '{' && d != '[') {
+		return nil
+	}
+	depth := 1
+	for depth > 0 {
+		tok, err := dec.Token()
+		if err != nil {
+			return wrapJSON(err)
+		}
+		if d, ok := tok.(json.Delim); ok {
+			switch d {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package geojson
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"polyclip/internal/geom"
+)
+
+func collect(t *testing.T, doc string) []geom.Polygon {
+	t.Helper()
+	var out []geom.Polygon
+	if err := DecodeFeatures(strings.NewReader(doc), func(p geom.Polygon) error {
+		out = append(out, p)
+		return nil
+	}); err != nil {
+		t.Fatalf("DecodeFeatures: %v", err)
+	}
+	return out
+}
+
+const squareFeature = `{"type":"Feature","geometry":{"type":"Polygon","coordinates":[[[0,0],[2,0],[2,2],[0,2],[0,0]]]}}`
+
+func TestDecodeFeaturesCollection(t *testing.T) {
+	doc := `{"type":"FeatureCollection","features":[` +
+		squareFeature + `,` +
+		`{"type":"Feature","geometry":null},` +
+		`{"type":"Feature","geometry":{"type":"MultiPolygon","coordinates":[[[[4,4],[5,4],[5,5],[4,4]]],[[[6,6],[7,6],[7,7],[6,6]]]]}}` +
+		`]}`
+	out := collect(t, doc)
+	if len(out) != 2 {
+		t.Fatalf("got %d features, want 2 (null geometry skipped)", len(out))
+	}
+	if len(out[0]) != 1 || len(out[0][0]) != 4 {
+		t.Errorf("feature 0: got %d rings / %d pts", len(out[0]), len(out[0][0]))
+	}
+	if len(out[1]) != 2 {
+		t.Errorf("feature 1: got %d rings, want 2 (MultiPolygon flattened)", len(out[1]))
+	}
+}
+
+// Key order must not matter: "features" before "type" still streams.
+func TestDecodeFeaturesKeyOrder(t *testing.T) {
+	doc := `{"features":[` + squareFeature + `],"type":"FeatureCollection","name":"x"}`
+	if got := collect(t, doc); len(got) != 1 {
+		t.Fatalf("got %d features, want 1", len(got))
+	}
+}
+
+func TestDecodeFeaturesNewlineDelimited(t *testing.T) {
+	doc := squareFeature + "\n" +
+		`{"type":"Polygon","coordinates":[[[0,0],[1,0],[1,1],[0,0]]]}` + "\n" +
+		`{"type":"Feature","geometry":null}` + "\n" +
+		`{"type":"MultiPolygon","coordinates":[[[[3,3],[4,3],[4,4],[3,3]]]]}` + "\n"
+	out := collect(t, doc)
+	if len(out) != 3 {
+		t.Fatalf("got %d features, want 3", len(out))
+	}
+}
+
+func TestDecodeFeaturesEmptyInput(t *testing.T) {
+	if got := collect(t, ""); len(got) != 0 {
+		t.Fatalf("empty input emitted %d features", len(got))
+	}
+	if got := collect(t, `{"type":"FeatureCollection","features":[]}`); len(got) != 0 {
+		t.Fatalf("empty collection emitted %d features", len(got))
+	}
+}
+
+func TestDecodeFeaturesEmitError(t *testing.T) {
+	sentinel := errors.New("stop")
+	n := 0
+	doc := squareFeature + "\n" + squareFeature + "\n"
+	err := DecodeFeatures(strings.NewReader(doc), func(geom.Polygon) error {
+		n++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("emit error not propagated: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("emit called %d times after error, want 1", n)
+	}
+}
+
+func TestDecodeFeaturesBadGeometry(t *testing.T) {
+	doc := `{"type":"FeatureCollection","features":[` + squareFeature + `,` +
+		`{"type":"Feature","geometry":{"type":"Polygon","coordinates":[[["x",0]]]}}]}`
+	err := DecodeFeatures(strings.NewReader(doc), func(geom.Polygon) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "feature 1") {
+		t.Fatalf("want error naming feature 1, got %v", err)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error does not wrap *ParseError: %v", err)
+	}
+}
+
+func TestDecodeFeaturesUnsupportedStandalone(t *testing.T) {
+	err := DecodeFeatures(strings.NewReader(`{"type":"LineString","coordinates":[[0,0],[1,1]]}`),
+		func(geom.Polygon) error { return nil })
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Token != "LineString" {
+		t.Fatalf("want ParseError near LineString, got %v", err)
+	}
+}
+
+func TestDecodeFeaturesNonObject(t *testing.T) {
+	err := DecodeFeatures(strings.NewReader(`[1,2,3]`), func(geom.Polygon) error { return nil })
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want ParseError for non-object input, got %v", err)
+	}
+}
+
+func TestDecodeFeaturesTruncated(t *testing.T) {
+	doc := `{"type":"FeatureCollection","features":[` + squareFeature
+	err := DecodeFeatures(strings.NewReader(doc), func(geom.Polygon) error { return nil })
+	if err == nil {
+		t.Fatal("truncated document decoded without error")
+	}
+}
+
+// UnmarshalLayer, rebuilt on the streaming path, keeps its strict contract.
+func TestUnmarshalLayerStreamingEquivalence(t *testing.T) {
+	doc := `{"type":"FeatureCollection","features":[` + squareFeature + `]}`
+	layer, err := UnmarshalLayer([]byte(doc))
+	if err != nil || len(layer) != 1 {
+		t.Fatalf("UnmarshalLayer: %v (%d features)", err, len(layer))
+	}
+	if _, err := UnmarshalLayer([]byte(`{"features":[` + squareFeature + `]}`)); err == nil {
+		t.Error("UnmarshalLayer accepted a collection with no type")
+	}
+	if _, err := UnmarshalLayer([]byte(squareFeature)); err == nil {
+		t.Error("UnmarshalLayer accepted a bare Feature")
+	}
+}

@@ -152,14 +152,55 @@ func (t *Tree) SearchFiltered(q geom.BBox, box func(id int32) geom.BBox, visit f
 }
 
 // Join reports every pair (i, j) with boxesA(i) intersecting the tree's
-// item j (whose exact box is boxesB(j)).
+// item j (whose exact box is boxesB(j)). Pair order is i-major with j in
+// tree traversal order — identical to streaming the same join through
+// JoinVisit, which Join is a materializing wrapper around.
 func (t *Tree) Join(na int, boxA func(i int32) geom.BBox, boxB func(j int32) geom.BBox) [][2]int32 {
 	var out [][2]int32
+	t.JoinVisit(na, boxA, boxB, func(i, j int32) {
+		out = append(out, [2]int32{i, j})
+	})
+	return out
+}
+
+// JoinVisit is the streaming spatial join: visit is called for every pair
+// (i, j) with boxA(i) intersecting the tree's item j (exact box boxB(j)),
+// without ever materializing the pair list. The million-feature batch
+// overlay buckets pairs as they stream out, so the join's memory stays
+// O(tree depth) regardless of how many candidates the layers produce.
+// Visit order matches Join: i ascending, j in tree traversal order.
+//
+// The traversal is iterative over one reused stack (a recursive descent
+// would be allocation-free too, but the per-query closure a recursive
+// helper needs would not be), so a whole join costs one stack allocation.
+func (t *Tree) JoinVisit(na int, boxA func(i int32) geom.BBox, boxB func(j int32) geom.BBox, visit func(i, j int32)) {
+	if t.root < 0 || na <= 0 {
+		return
+	}
+	stack := make([]int32, 0, 32)
 	for i := int32(0); i < int32(na); i++ {
 		qa := boxA(i)
-		t.SearchFiltered(qa, boxB, func(j int32) {
-			out = append(out, [2]int32{i, j})
-		})
+		stack = append(stack[:0], t.root)
+		for len(stack) > 0 {
+			ni := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nd := &t.nodes[ni]
+			if !nd.box.Intersects(qa) {
+				continue
+			}
+			if nd.leaf {
+				for _, id := range nd.child {
+					if boxB(id).Intersects(qa) {
+						visit(i, id)
+					}
+				}
+				continue
+			}
+			// Push in reverse so children pop in declaration order,
+			// preserving the recursive traversal's visit order.
+			for k := len(nd.child) - 1; k >= 0; k-- {
+				stack = append(stack, nd.child[k])
+			}
+		}
 	}
-	return out
 }

@@ -130,3 +130,61 @@ func TestDegenerateIdenticalBoxes(t *testing.T) {
 		t.Errorf("got %d, want 64", len(got))
 	}
 }
+
+// TestJoinVisitMatchesJoin pins that the streaming join and the
+// materializing wrapper see the same pairs in the same order — callers that
+// bucket pairs as they stream may rely on the order being the old Join
+// order exactly.
+func TestJoinVisitMatchesJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	boxesA := randomBoxes(rng, 200, 70)
+	boxesB := randomBoxes(rng, 170, 70)
+	tr := Build(len(boxesB), func(i int32) geom.BBox { return boxesB[i] })
+	boxA := func(i int32) geom.BBox { return boxesA[i] }
+	boxB := func(j int32) geom.BBox { return boxesB[j] }
+	want := tr.Join(len(boxesA), boxA, boxB)
+	var got [][2]int32
+	tr.JoinVisit(len(boxesA), boxA, boxB, func(i, j int32) {
+		got = append(got, [2]int32{i, j})
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("JoinVisit: %d pairs in a different order/set than Join's %d", len(got), len(want))
+	}
+}
+
+// TestJoinVisitAllocs is the allocation regression pin: the streaming join
+// must cost a constant number of allocations (the reused traversal stack)
+// no matter how many items or candidate pairs flow through it, so that
+// million-feature joins never materialize per-pair state. It also pins that
+// rewriting Join on top of JoinVisit left Join's own profile append-only:
+// allocations grow with the output slice only.
+func TestJoinVisitAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	boxesA := randomBoxes(rng, 500, 80)
+	boxesB := randomBoxes(rng, 500, 80)
+	tr := Build(len(boxesB), func(i int32) geom.BBox { return boxesB[i] })
+	boxA := func(i int32) geom.BBox { return boxesA[i] }
+	boxB := func(j int32) geom.BBox { return boxesB[j] }
+	var pairs int
+	visit := func(i, j int32) { pairs++ }
+	allocs := testing.AllocsPerRun(10, func() {
+		tr.JoinVisit(len(boxesA), boxA, boxB, visit)
+	})
+	if pairs == 0 {
+		t.Fatal("join produced no pairs; the alloc measurement is vacuous")
+	}
+	if allocs > 2 {
+		t.Errorf("JoinVisit allocates %.1f objects/run, want <= 2 (stack only)", allocs)
+	}
+	// The Join wrapper may only add the output slice's growth.
+	out := tr.Join(len(boxesA), boxA, boxB)
+	joinAllocs := testing.AllocsPerRun(10, func() {
+		out = out[:0]
+		tr.JoinVisit(len(boxesA), boxA, boxB, func(i, j int32) {
+			out = append(out, [2]int32{i, j})
+		})
+	})
+	if joinAllocs > 3 {
+		t.Errorf("Join path allocates %.1f objects/run over a warm buffer, want <= 3", joinAllocs)
+	}
+}

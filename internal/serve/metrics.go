@@ -199,6 +199,14 @@ type Statz struct {
 	StageTimeouts int64 `json:"stageTimeouts"`
 	AuditFailures int64 `json:"auditFailures"`
 	FallbackSteps int64 `json:"fallbackSteps"`
+
+	// Arrangement-cache counters (the process-wide shared cache the batch
+	// overlay uses; lifetime totals, not per-window).
+	CacheHits    uint64  `json:"cacheHits"`
+	CacheMisses  uint64  `json:"cacheMisses"`
+	CacheBytes   int64   `json:"cacheBytes"`
+	CacheEntries int     `json:"cacheEntries"`
+	CacheHitRate float64 `json:"cacheHitRate"`
 }
 
 // String renders the snapshot as one log-friendly line.

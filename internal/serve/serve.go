@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"polyclip"
+	"polyclip/internal/acache"
 	"polyclip/internal/guard"
 )
 
@@ -256,6 +257,12 @@ func (s *Server) Statz() Statz {
 	if st.BatchFlushes > 0 {
 		st.MeanBatchSize = float64(st.BatchedRequests) / float64(st.BatchFlushes)
 	}
+	cs := acache.Shared().Stats()
+	st.CacheHits = cs.Hits
+	st.CacheMisses = cs.Misses
+	st.CacheBytes = cs.Bytes
+	st.CacheEntries = cs.Entries
+	st.CacheHitRate = cs.HitRate()
 	return st
 }
 

@@ -489,6 +489,12 @@ func TestHealthzStatzMetrics(t *testing.T) {
 	if st.String() == "" {
 		t.Error("statz String is empty")
 	}
+	// The arrangement-cache gauges reflect the shared cache: sane, not
+	// negative, and rate within [0, 1]. (Totals depend on what other tests
+	// ran first, so only the invariants are pinned.)
+	if st.CacheBytes < 0 || st.CacheEntries < 0 || st.CacheHitRate < 0 || st.CacheHitRate > 1 {
+		t.Errorf("statz cache gauges out of range: %+v", st)
+	}
 
 	resp, err = http.Get(ts.URL + "/metrics.csv")
 	if err != nil {

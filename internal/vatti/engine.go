@@ -30,6 +30,9 @@ func (e clipEngine) Clip(ctx context.Context, a, b geom.Polygon, op engine.Op, o
 			return engine.Result{}, err
 		}
 	}
+	if opt.PreResolved {
+		return engine.Result{Polygon: ClipRuleResolved(a, b, op, opt.Rule)}, nil
+	}
 	return engine.Result{Polygon: ClipRule(a, b, op, opt.Rule)}, nil
 }
 

@@ -54,6 +54,14 @@ func ClipRule(subject, clip geom.Polygon, op Op, rule engine.FillRule) geom.Poly
 	return Assemble(TrapezoidsRule(subject, clip, op, rule))
 }
 
+// ClipRuleResolved is ClipRule for operands already put through the joint
+// arrangement resolution (arrange.ResolvePair / ResolvePairWinding for the
+// rule). The batch overlay's arrangement cache calls it to reuse resolved
+// operands across clips; the sweep runs directly on the given geometry.
+func ClipRuleResolved(subject, clip geom.Polygon, op Op, rule engine.FillRule) geom.Polygon {
+	return Assemble(trapezoidsRule(subject, clip, op, rule, true))
+}
+
 // Trapezoids computes the even-odd trapezoid decomposition of
 // `subject op clip` — the raw per-scanbeam output of the sweep, before
 // merging (GPC's tristrip analogue).
@@ -71,6 +79,10 @@ func Trapezoids(subject, clip geom.Polygon, op Op) []Trapezoid {
 // regenerated exactly as trapezoid caps. This sidesteps the paper's §III-C
 // perturbation without changing the result.
 func TrapezoidsRule(subject, clip geom.Polygon, op Op, rule engine.FillRule) []Trapezoid {
+	return trapezoidsRule(subject, clip, op, rule, false)
+}
+
+func trapezoidsRule(subject, clip geom.Polygon, op Op, rule engine.FillRule, resolved bool) []Trapezoid {
 	subject = dropDegenerate(subject)
 	clip = dropDegenerate(clip)
 
@@ -82,11 +94,14 @@ func TrapezoidsRule(subject, clip geom.Polygon, op Op, rule engine.FillRule) []T
 	// trapezoid corners inverted. Under EvenOdd, self-intersecting operands
 	// are additionally rewritten as simple even-odd rings; the winding rules
 	// keep the split rings directed as given, because the signed-count walk
-	// needs the original winding multiplicities.
-	if rule == engine.EvenOdd {
-		subject, clip = arrange.ResolvePair(subject, clip)
-	} else {
-		subject, clip = arrange.ResolvePairWinding(subject, clip)
+	// needs the original winding multiplicities. Callers that already
+	// resolved the pair (the arrangement cache) skip the pass.
+	if !resolved {
+		if rule == engine.EvenOdd {
+			subject, clip = arrange.ResolvePair(subject, clip)
+		} else {
+			subject, clip = arrange.ResolvePairWinding(subject, clip)
+		}
 	}
 
 	edges := scanbeam.CollectEdges(subject, clip)

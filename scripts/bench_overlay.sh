@@ -1,0 +1,72 @@
+#!/bin/sh
+# Reproduce BENCH_overlay.json: the million-feature batch overlay through
+# the arrangement cache (internal/batch + internal/acache).
+#
+# Two synthetic layers of OVERLAY_FEATURES features each (so the default
+# 500000 is a one-million-feature overlay in total), OVERLAY_REPEAT of them
+# exact repeats, are overlaid twice through one cache: a cold run that
+# populates it and a warm run that should be all hits. The artifact records
+# features/sec, peak RSS (VmHWM), and the cache hit rate.
+#
+# Embedded contract gate — the script exits nonzero unless:
+#   - the warm (repeated-operand) run is >= 2x faster than the cold run;
+#   - a cache hit rate is reported.
+#
+# Deterministic inputs (fixed seed); timings vary with the host.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${OVERLAY_OUT:-BENCH_overlay.json}"
+FEATURES="${OVERLAY_FEATURES:-500000}"
+REPEAT="${OVERLAY_REPEAT:-0.5}"
+SEED="${OVERLAY_SEED:-42}"
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT INT TERM
+
+echo "running batch overlay benchmark ($FEATURES+$FEATURES features, repeat $REPEAT)..." >&2
+go run ./cmd/bench -exp overlay -features "$FEATURES" -repeat "$REPEAT" -seed "$SEED" -json > "$TMP"
+
+# One JSON object per line; the overlay experiment emits exactly one.
+RESULT=$(head -n1 "$TMP")
+if [ -z "$RESULT" ]; then
+	echo "FAIL: benchmark produced no output" >&2
+	exit 1
+fi
+
+# Contract gate: the counters are emitted by Go's encoding/json with no
+# whitespace, so fixed-string grep is reliable here.
+if ! printf '%s' "$RESULT" | grep -q '"cacheHitRatePct":'; then
+	echo "FAIL: no cache hit rate reported" >&2
+	exit 1
+fi
+if ! printf '%s' "$RESULT" | grep -q '"warmGatePass":1'; then
+	echo "FAIL: warm repeated-operand run is not >= 2x faster than cold" >&2
+	printf '%s\n' "$RESULT" >&2
+	exit 1
+fi
+
+CORES=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)
+GOVER=$(go env GOVERSION)
+GOOS=$(go env GOOS)
+GOARCH=$(go env GOARCH)
+DATE=$(date -u +%Y-%m-%d)
+
+{
+	printf '{\n'
+	printf '  "description": "Million-feature batch overlay (internal/batch): streaming MBR join into spatial buckets, parallel per-bucket clips, arrangement cache keyed by canonical geometry digest. Cold run populates the cache; warm run on the same corpus must be >= 2x faster (gated in scripts/bench_overlay.sh, make overlay-bench).",\n'
+	printf '  "environment": {\n'
+	printf '    "goos": "%s",\n' "$GOOS"
+	printf '    "goarch": "%s",\n' "$GOARCH"
+	printf '    "cores": %d,\n' "$CORES"
+	printf '    "go": "%s",\n' "$GOVER"
+	printf '    "features_per_layer": %d,\n' "$FEATURES"
+	printf '    "repeat_fraction": %s,\n' "$REPEAT"
+	printf '    "seed": %d,\n' "$SEED"
+	printf '    "date": "%s"\n' "$DATE"
+	printf '  },\n'
+	printf '  "gate": {"warm_ge_2x_cold": true, "hit_rate_reported": true},\n'
+	printf '  "result": %s\n' "$RESULT"
+	printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT (gate passed)" >&2
