@@ -4,11 +4,15 @@ CHAOS_SEED ?= 1
 CHAOS_CASES ?= 200
 COVER_FLOOR ?= 80
 COVER_PKGS := ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/scanbeam/ ./internal/serve/ ./internal/core/ ./internal/overlay/ ./internal/pool/ ./internal/par/ ./internal/batch/ ./internal/acache/
+# The tile-cutting fast paths carry a higher floor: a missed branch there is
+# a silently wrong tile, not a slow one.
+COVER_FLOOR_TILES ?= 85
+COVER_PKGS_TILES := ./internal/prepared/ ./internal/tile/
 
 PROFILE_EXP ?= table2
 PROFILE_DIR ?= /tmp/polyclip-prof
 
-.PHONY: check build vet test cover race differential conformance fuzz chaos profile clipd loadtest bench scaling overlay-bench
+.PHONY: check build vet test cover race differential conformance fuzz chaos profile clipd loadtest bench scaling overlay-bench tile-bench
 
 check: vet build test cover race differential conformance fuzz chaos
 
@@ -29,6 +33,14 @@ cover:
 		if [ -z "$$pct" ]; then echo "could not parse coverage for $$pkg"; exit 1; fi; \
 		if ! awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{exit !(p >= f)}'; then \
 			echo "coverage for $$pkg is $$pct%, below the $(COVER_FLOOR)% floor"; exit 1; \
+		fi; \
+		echo "$$pkg: $$pct%"; \
+	done
+	@for pkg in $(COVER_PKGS_TILES); do \
+		pct=$$(go test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "could not parse coverage for $$pkg"; exit 1; fi; \
+		if ! awk -v p="$$pct" -v f="$(COVER_FLOOR_TILES)" 'BEGIN{exit !(p >= f)}'; then \
+			echo "coverage for $$pkg is $$pct%, below the $(COVER_FLOOR_TILES)% floor"; exit 1; \
 		fi; \
 		echo "$$pkg: $$pct%"; \
 	done
@@ -69,13 +81,15 @@ profile:
 # case takes one injected panic/hang/corruption), and a budgeted faulted run
 # that exercises the stage watchdog, plus a degenerate-taxonomy sweep
 # (seed 7: exact coincidences — shared edges, collinear overlaps,
-# T-vertices, coincident rings — under every fill rule). Same seed, same
+# T-vertices, coincident rings — under every fill rule) and a tiling sweep
+# (seed 5: pyramid partition invariants across all rules). Same seed, same
 # cases, same verdict.
 chaos:
 	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases $(CHAOS_CASES)
 	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases $(CHAOS_CASES) -faults
 	go run ./cmd/chaos -seed $(CHAOS_SEED) -cases 60 -faults -budget 500ms
 	go run ./cmd/chaos -seed 7 -cases 320 -family degenerate
+	go run ./cmd/chaos -seed 5 -cases 120 -family tiles
 
 # Short scaling smoke: one iteration of the two scaling benchmarks at 1 and
 # 2 workers — enough to catch a pool regression (deadlock, lost task, gross
@@ -95,6 +109,13 @@ scaling:
 # OVERLAY_FEATURES / OVERLAY_REPEAT.
 overlay-bench:
 	sh scripts/bench_overlay.sh
+
+# Vector-tile pyramid-cutting benchmark: naive per-tile clips vs the
+# prepared pipeline, recorded to BENCH_tiles.json with embedded contract
+# gates (prepared >= 2x naive; output bit-identical at 1/2/8 threads).
+# Tune with TILES_RINGS / TILES_MAXZOOM.
+tile-bench:
+	sh scripts/bench_tiles.sh
 
 # Build the serving daemon.
 clipd:

@@ -10,6 +10,7 @@
 //	chaos -seed 1 -cases 200 -faults          # with injected panics/corruption
 //	chaos -seed 1 -cases 200 -faults -budget 2s  # plus deadlines and hangs
 //	chaos -seed 7 -cases 300 -family degenerate  # Foster–Overfelt degeneracy taxonomy only
+//	chaos -seed 5 -cases 120 -family tiles       # pyramid tiling partition invariants only
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "run seed (same seed, same run)")
 	cases := flag.Int("cases", 100, "number of generated workloads")
-	family := flag.String("family", "", "restrict workloads to one family group (adversarial, degenerate) or one family name; empty = all")
+	family := flag.String("family", "", "restrict workloads to one family group (adversarial, degenerate, tiles) or one family name; empty = all")
 	faults := flag.Bool("faults", false, "inject one fault per case (panics, hangs, result corruption)")
 	budget := flag.Duration("budget", 0, "per-clip deadline (0 = none); enables hang faults with -faults")
 	threads := flag.Int("threads", 0, "clip parallelism (0 = all CPUs)")

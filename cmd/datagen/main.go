@@ -6,6 +6,7 @@
 //	datagen -dataset ne_10m_urban_areas -scale 0.01 -o urban.wkt
 //	datagen -pair 50000 -o pair.wkt         # §V-A synthetic subject+clip
 //	datagen -features 1000000 -repeat 0.5   # batch-overlay feature set
+//	datagen -tiles 256 -holes 0.1           # tile-cutting layer + pyramid spec
 //	datagen -list                           # show Table III descriptors
 //
 // The -features mode emits the million-feature batch-overlay workload:
@@ -17,12 +18,14 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"polyclip/internal/data"
 	"polyclip/internal/geojson"
+	"polyclip/internal/tile"
 	"polyclip/internal/wkt"
 )
 
@@ -30,6 +33,8 @@ func main() {
 	dataset := flag.String("dataset", "", "Table III dataset name to synthesize")
 	scale := flag.Float64("scale", 0.01, "dataset scale (1.0 = full paper size)")
 	pair := flag.Int("pair", 0, "emit a synthetic subject/clip pair with this many edges each")
+	tiles := flag.Int("tiles", 0, "emit a tile-cutting layer with this many rings")
+	holes := flag.Float64("holes", 0.1, "fraction of rings given a hole in -tiles mode")
 	features := flag.Int("features", 0, "emit a batch-overlay feature set with this many features")
 	dist := flag.String("dist", "mixed", "feature MBR distribution: uniform, clustered, mixed")
 	repeat := flag.Float64("repeat", 0, "fraction of features that are exact repeats (cache workload)")
@@ -84,6 +89,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "features: %d (%s, repeat %.2f, %d edges each)\n",
 			len(layer), *dist, *repeat, *edges)
+	case *tiles > 0:
+		layer := data.TileLayer(data.TileLayerOptions{
+			Rings: *tiles, HoleFrac: *holes, Edges: *edges, Seed: *seed,
+		})
+		fmt.Fprintln(bw, wkt.Marshal(layer))
+		ext := tile.SquareExtent(layer.BBox())
+		spec := tile.Spec{MinZoom: 0, MaxZoom: 6, Extent: ext}
+		sj, err := json.Marshal(spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "tiles layer: %d rings (%.0f%% holed); suggested pyramid spec: %s\n",
+			len(layer), *holes*100, sj)
 	case *pair > 0:
 		subject, clip := data.SyntheticPair(*seed, *pair, *pair)
 		fmt.Fprintln(bw, wkt.Marshal(subject))
@@ -101,7 +119,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s: %d features, %d edges, mean edge %.5f\n",
 			d.Name, st.Polys, st.Edges, st.MeanEdgeLen)
 	default:
-		fatalf("nothing to do: pass -dataset, -pair, -features or -list")
+		fatalf("nothing to do: pass -dataset, -pair, -features, -tiles or -list")
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 const (
 	kindResolve = 1
 	kindClip    = 2
+	kindPrepare = 3
 )
 
 // Key identifies one cached computation.
@@ -275,6 +276,22 @@ func engHash(name string) uint64 {
 		h = (h ^ uint64(name[i])) * 0x100000001b3
 	}
 	return h
+}
+
+// Prepared returns the cached canonical form of the single layer with
+// digest d under rule — the output of prepared.Canonicalize — running
+// compute exactly once per distinct (digest, rule). The tile pyramid driver
+// funnels per-zoom and per-request preparation through this tier so a layer
+// cut repeatedly (or at several zoom ranges) resolves once; the cheap index
+// build still runs per Prepared. The closure indirection keeps this package
+// free of an internal/prepared dependency.
+func (c *Cache) Prepared(d geom.Digest, rule engine.FillRule, compute func() geom.Polygon) geom.Polygon {
+	if c == nil {
+		return compute()
+	}
+	v := c.do(Key{A: d, Rule: uint8(rule), Kind: kindPrepare},
+		func() []geom.Polygon { return []geom.Polygon{compute()} })
+	return v[0]
 }
 
 // Clip returns the cached result of `a op b` under (engineName, rule) for

@@ -35,7 +35,7 @@ import (
 // the result's rings cross only at shared vertices. Inputs that are already
 // resolved are returned unchanged, without copying.
 func Resolve(p geom.Polygon) geom.Polygon {
-	out, _, changed := resolve([]geom.Polygon{p}, false)
+	out, _, changed := resolve([]geom.Polygon{p}, false, false)
 	if !changed {
 		return p
 	}
@@ -50,7 +50,7 @@ func Resolve(p geom.Polygon) geom.Polygon {
 // by parity, destroying the winding multiplicity a signed-count walk needs;
 // a downstream sweep still meets crossings only at shared exact vertices.
 func ResolveWinding(p geom.Polygon) geom.Polygon {
-	out, _, changed := resolve([]geom.Polygon{p}, true)
+	out, _, changed := resolve([]geom.Polygon{p}, true, false)
 	if !changed {
 		return p
 	}
@@ -81,7 +81,7 @@ func ResolvePair(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
 // disjoint operands — but it grows with arrangement density, which is all a
 // slab heuristic needs.
 func ResolvePairEstimate(a, b geom.Polygon) (geom.Polygon, geom.Polygon, int) {
-	out, k, changed := resolve([]geom.Polygon{a, b}, false)
+	out, k, changed := resolve([]geom.Polygon{a, b}, false, false)
 	if !changed {
 		return a, b, k
 	}
@@ -92,7 +92,35 @@ func ResolvePairEstimate(a, b geom.Polygon) (geom.Polygon, geom.Polygon, int) {
 // split-and-weld with ring directions preserved (no even-odd re-extraction of
 // self-intersecting operands — see ResolveWinding).
 func ResolvePairWinding(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
-	out, _, changed := resolve([]geom.Polygon{a, b}, true)
+	out, _, changed := resolve([]geom.Polygon{a, b}, true, false)
+	if !changed {
+		return a, b
+	}
+	return out[0], out[1]
+}
+
+// ResolvePairPrepared is ResolvePair for a prepared subject (see
+// engine.Options.Prepared): a is promised to be already self-resolved — its
+// own edges meet only at shared exact vertices, as internal/prepared's
+// canonicalization guarantees — so every a↔a candidate pair is skipped
+// without evaluating its intersection. Crossings between a and b, and b's
+// own self-intersections, are split and welded exactly as ResolvePair does.
+// For a large prepared layer against a small clip window the pre-scan's
+// candidate stream is dominated by the layer's own adjacent-edge pairs, so
+// the skip removes most of the per-clip resolution cost that remains after
+// preparation.
+func ResolvePairPrepared(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
+	out, _, changed := resolve([]geom.Polygon{a, b}, false, true)
+	if !changed {
+		return a, b
+	}
+	return out[0], out[1]
+}
+
+// ResolvePairPreparedWinding is ResolvePairPrepared for winding-rule sweeps:
+// the a↔a skip with ring directions preserved (see ResolvePairWinding).
+func ResolvePairPreparedWinding(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
+	out, _, changed := resolve([]geom.Polygon{a, b}, true, true)
 	if !changed {
 		return a, b
 	}
@@ -102,11 +130,13 @@ func ResolvePairWinding(a, b geom.Polygon) (geom.Polygon, geom.Polygon) {
 // resolve is the shared implementation: ops is one polygon (Resolve) or an
 // operand pair (ResolvePair). winding keeps the rebuilt rings of
 // self-intersecting operands directed as given instead of re-extracting
-// their even-odd boundary. The int counts the non-disjoint candidate pairs
-// the pre-scan evaluated (see ResolvePairEstimate). The boolean reports
-// whether anything changed; when false the caller keeps its originals and
-// no allocation is retained.
-func resolve(ops []geom.Polygon, winding bool) ([]geom.Polygon, int, bool) {
+// their even-odd boundary. trustSelf0 promises operand 0 is already
+// self-resolved: its own candidate pairs are skipped outright (see
+// ResolvePairPrepared). The int counts the non-disjoint candidate pairs the
+// pre-scan evaluated (see ResolvePairEstimate). The boolean reports whether
+// anything changed; when false the caller keeps its originals and no
+// allocation is retained.
+func resolve(ops []geom.Polygon, winding, trustSelf0 bool) ([]geom.Polygon, int, bool) {
 	// Flatten every ring of every operand into one edge soup, remembering
 	// which operand each edge belongs to so self-intersection is detected
 	// per operand.
@@ -157,6 +187,9 @@ func resolve(ops []geom.Polygon, winding bool) ([]geom.Polygon, int, bool) {
 	anySelf := false
 	crossings := 0
 	isect.VisitCandidatePairs(segs, func(i, j int32) bool {
+		if trustSelf0 && owners[i] == 0 && owners[j] == 0 {
+			return true
+		}
 		si, sj := segs[i], segs[j]
 		kind, p0, p1 := geom.SegIntersection(si, sj)
 		if kind == geom.Disjoint {

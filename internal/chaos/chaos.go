@@ -27,9 +27,9 @@ type Config struct {
 	// Cases is the number of generated workloads (default 100).
 	Cases int
 	// Family restricts generation to one family group ("adversarial",
-	// "degenerate") or one exact family name ("t-vertex"). Empty runs the
-	// full cycle. An unknown value fails the run rather than silently
-	// testing nothing.
+	// "degenerate", "tiles") or one exact family name ("t-vertex"). Empty
+	// runs the full cycle. An unknown value fails the run rather than
+	// silently testing nothing.
 	Family string
 	// Threads bounds the clip parallelism; <= 0 means 4, not all CPUs: a
 	// stress run must exercise the parallel pipeline (multiple slabs,

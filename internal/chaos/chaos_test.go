@@ -81,6 +81,35 @@ func TestDegenerateFamilyRun(t *testing.T) {
 	}
 }
 
+// TestTilesFamilyRun is the tier-1 slice of the tiling acceptance
+// criterion: a fixed-seed run restricted to the tiles family must find zero
+// violations of the partition invariant (per-zoom tile areas summing to the
+// layer clipped to the pyramid extent), the naive cross-check, and thread
+// determinism — across all four fill rules (the op slot cycles the rule
+// every len(gens) cases, so 13 cases cover every rule at least once).
+func TestTilesFamilyRun(t *testing.T) {
+	cases := 13
+	if !testing.Short() {
+		cases = 26
+	}
+	rep := Run(Config{Seed: 5, Cases: cases, Family: FamilyTiles, Log: t.Logf})
+	if rep.Failed() {
+		t.Fatalf("tiles chaos run failed:\n%s", rep.Summary())
+	}
+	if rep.InvariantChecks == 0 || rep.Clips == 0 {
+		t.Fatalf("run checked nothing: %s", rep.Summary())
+	}
+	gens := generatorsFor(FamilyTiles)
+	if len(gens) != 3 {
+		t.Fatalf("tiles family has %d generators, want 3", len(gens))
+	}
+	for _, g := range gens {
+		if g.family != FamilyTiles {
+			t.Errorf("filter leaked family %q (%s)", g.family, g.name)
+		}
+	}
+}
+
 // TestUnknownFamilyFails: a typo'd filter must fail the run, not pass it
 // vacuously over zero cases.
 func TestUnknownFamilyFails(t *testing.T) {

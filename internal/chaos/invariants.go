@@ -11,6 +11,7 @@ package chaos
 
 import (
 	"math"
+	"strings"
 
 	"polyclip"
 )
@@ -30,6 +31,12 @@ func (e *engine) areaOf(ci int, w workload, a, b polyclip.Polygon, op polyclip.O
 // an area comparison under the run's relative tolerance; scale anchors the
 // tolerance for comparisons whose operands may legitimately be ~0.
 func (e *engine) checkCase(ci int, w workload) {
+	// Tiles workloads carry a layer and a pyramid window, not an operand
+	// pair: they get the tiling invariant suite instead.
+	if strings.HasPrefix(w.name, "tiles-") {
+		e.checkTiles(ci, w)
+		return
+	}
 	opt := polyclip.Options{Threads: e.cfg.Threads}
 
 	// Reference measures: |A| and |B| as even-odd regions. The shoelace sum

@@ -41,10 +41,12 @@ type generator struct {
 // Family groups. "adversarial" is the original stress catalogue;
 // "degenerate" is the Foster–Overfelt exact-degeneracy taxonomy, where
 // every coincidence is constructed bit-exactly rather than approached by
-// jitter.
+// jitter; "tiles" cuts whole layers into z/x/y pyramids and holds the
+// tiling to its partition invariant (see tiles.go).
 const (
 	FamilyAdversarial = "adversarial"
 	FamilyDegenerate  = "degenerate"
+	FamilyTiles       = "tiles"
 )
 
 // generators is the cycle of workload families. Order matters only for
@@ -63,10 +65,13 @@ var generators = []generator{
 	{"shared-boundary", FamilyDegenerate, genSharedBoundaries},
 	{"t-vertex", FamilyDegenerate, genTVertices},
 	{"coincident-ring", FamilyDegenerate, genCoincidentRings},
+	{"tiles-rings", FamilyTiles, genTilesRings},
+	{"tiles-winding", FamilyTiles, genTilesWinding},
+	{"tiles-aligned", FamilyTiles, genTilesAligned},
 }
 
 // Families returns the selectable family-group names, for flag validation.
-func Families() []string { return []string{FamilyAdversarial, FamilyDegenerate} }
+func Families() []string { return []string{FamilyAdversarial, FamilyDegenerate, FamilyTiles} }
 
 // generatorsFor returns the generator cycle for a family filter: the empty
 // string selects every family, a group name selects that group, and an

@@ -1,0 +1,75 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"polyclip/internal/geom"
+)
+
+// TileLayerOptions configures the vector-tile cutting workload: one
+// multi-ring layer whose boundary is spread over a grid of cells, plus a
+// large central region so pyramid cutting exercises both fast paths —
+// Outside prunes in the gaps and FastInside fills over the big interior.
+type TileLayerOptions struct {
+	// Rings is the small-ring count (default 64).
+	Rings int
+	// HoleFrac in [0, 1) is the fraction of small rings given a concentric
+	// hole (default 0.1).
+	HoleFrac float64
+	// Edges is the per-ring edge count (default 8; clamped to >= 3).
+	Edges int
+	// NoLake suppresses the large central ring.
+	NoLake bool
+	// Seed seeds the generator; equal options produce equal layers.
+	Seed int64
+}
+
+// TileLayer synthesizes one layer for the tile-cutting benchmark and chaos
+// family. Rings are placed one per grid cell with jittered shape and radius,
+// so boundary density is uniform and the layer's own rings never intersect —
+// the canonicalization cost is dominated by the union sweep, as in real
+// basemap layers. The default large central ring overlaps many small ones,
+// so winding rules and even-odd disagree and the fill-rule plumbing is
+// actually exercised.
+func TileLayer(opt TileLayerOptions) geom.Polygon {
+	n := opt.Rings
+	if n <= 0 {
+		n = 64
+	}
+	holeFrac := opt.HoleFrac
+	if holeFrac == 0 {
+		holeFrac = 0.1
+	}
+	edges := opt.Edges
+	if edges <= 0 {
+		edges = 8
+	}
+	if edges < 3 {
+		edges = 3
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	const cell = 10.0
+	var p geom.Polygon
+	for i := 0; i < n; i++ {
+		cx := (float64(i%side) + 0.5) * cell
+		cy := (float64(i/side) + 0.5) * cell
+		c := geom.Point{
+			X: cx + (rng.Float64()-0.5)*cell*0.3,
+			Y: cy + (rng.Float64()-0.5)*cell*0.3,
+		}
+		r := cell * (0.15 + rng.Float64()*0.25)
+		p = append(p, JitteredPolygon(rng, c, r*0.8, r, edges))
+		if rng.Float64() < holeFrac {
+			p = append(p, JitteredPolygon(rng, c, r*0.3, r*0.4, edges))
+		}
+	}
+	if !opt.NoLake {
+		span := float64(side) * cell
+		c := geom.Point{X: span / 2, Y: span / 2}
+		p = append(p, JitteredPolygon(rng, c, span*0.22, span*0.3, 4*edges))
+	}
+	return p
+}

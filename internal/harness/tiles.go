@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"polyclip/internal/data"
+	"polyclip/internal/engine"
+	"polyclip/internal/tile"
+	"polyclip/internal/wkt"
+)
+
+// Tiles runs the vector-tile cutting benchmark that closes the ROADMAP's
+// tile-workload item: one synthetic multi-ring layer is cut into a z/x/y
+// pyramid twice — naively (every candidate tile pays a full resolve+sweep
+// of the raw layer) and through the prepared pipeline (resolve once, then
+// per-tile fast paths). Two gates ride the counters for bench_tiles.sh:
+//
+//   - preparedGatePass: prepared throughput >= 2x naive;
+//   - detGatePass: prepared output bit-identical at threads 1, 2 and 8.
+//
+// The fast-path fraction — pyramid leaves settled without a real sweep —
+// is the output-sensitivity headline: it is what decouples tile cost from
+// layer size.
+func Tiles(rings, maxZoom, threads int, seed int64) Result {
+	layer := data.TileLayer(data.TileLayerOptions{Rings: rings, Seed: seed})
+	spec := tile.Spec{MinZoom: 0, MaxZoom: maxZoom, Extent: tile.SquareExtent(layer.BBox())}
+	ctx := context.Background()
+	total := spec.NumTiles()
+
+	t0 := time.Now()
+	naiveTiles, naiveStats, err := tile.Cut(ctx, layer, spec, tile.Options{
+		Rule: engine.EvenOdd, Threads: threads, Naive: true, Cache: nil,
+	})
+	naive := time.Since(t0)
+	if err != nil {
+		return Result{Name: "tiles", Text: "tiles naive: " + err.Error()}
+	}
+
+	t1 := time.Now()
+	prepTiles, prepStats, err := tile.Cut(ctx, layer, spec, tile.Options{
+		Rule: engine.EvenOdd, Threads: threads, Cache: nil,
+	})
+	prep := time.Since(t1)
+	if err != nil {
+		return Result{Name: "tiles", Text: "tiles prepared: " + err.Error()}
+	}
+
+	// Determinism pin: the prepared cut at the contract thread counts.
+	detGate := 1
+	base := tilesDigest(prepTiles)
+	for _, tc := range []int{1, 2, 8} {
+		out, _, err := tile.Cut(ctx, layer, spec, tile.Options{
+			Rule: engine.EvenOdd, Threads: tc, Cache: nil,
+		})
+		if err != nil || tilesDigest(out) != base {
+			detGate = 0
+			break
+		}
+	}
+
+	speedup := float64(naive) / float64(prep)
+	gate := 0
+	if speedup >= 2 {
+		gate = 1
+	}
+	sweeps := int64(prepStats.Prepared.Sweeps())
+	fastPct := 0
+	if total > 0 {
+		fastPct = int(float64(total-sweeps) / float64(total) * 100)
+	}
+	tpsNaive := int(float64(total) / naive.Seconds())
+	tpsPrep := int(float64(total) / prep.Seconds())
+
+	header := row("run", "time_ms", "tiles/s", "emitted", "sweeps", "fast_%")
+	rows := [][]string{
+		row("naive", ms(naive), strconv.Itoa(tpsNaive), strconv.Itoa(len(naiveTiles)),
+			strconv.FormatInt(naiveStats.Leaves, 10), "0"),
+		row("prepared", ms(prep), strconv.Itoa(tpsPrep), strconv.Itoa(len(prepTiles)),
+			strconv.FormatInt(sweeps, 10), strconv.Itoa(fastPct)),
+	}
+	text := fmt.Sprintf("Tile cutting — %d rings, zooms 0:%d (%d tiles), %d threads\n%s",
+		rings, maxZoom, total, threads, formatRows(header, rows)) +
+		fmt.Sprintf("routes: inside %d, outside %d, convex %d, band %d, rescued %d; pruned %d, filled %d\n",
+			prepStats.Prepared.FastInside, prepStats.Prepared.FastOutside,
+			prepStats.Prepared.ConvexClips, prepStats.Prepared.BandClips, prepStats.Prepared.Rescues,
+			prepStats.Pruned, prepStats.Filled) +
+		fmt.Sprintf("speedup %.2fx (gate >=2x: %v); deterministic at 1/2/8 threads: %v\n",
+			speedup, gate == 1, detGate == 1)
+
+	return Result{
+		Name: "tiles",
+		Text: text,
+		Rows: rows,
+		Counters: map[string]int{
+			"rings":            rings,
+			"pyramidTiles":     int(total),
+			"emittedTiles":     len(prepTiles),
+			"naiveMs":          int(naive.Milliseconds()),
+			"preparedMs":       int(prep.Milliseconds()),
+			"tilesPerSecNaive": tpsNaive,
+			"tilesPerSecPrep":  tpsPrep,
+			"speedupX100":      int(speedup * 100),
+			"fastPathPct":      fastPct,
+			"fastInside":       int(prepStats.Prepared.FastInside),
+			"fastOutside":      int(prepStats.Prepared.FastOutside),
+			"convexClips":      int(prepStats.Prepared.ConvexClips),
+			"bandClips":        int(prepStats.Prepared.BandClips),
+			"rescues":          int(prepStats.Prepared.Rescues),
+			"prunedTiles":      int(prepStats.Pruned),
+			"filledTiles":      int(prepStats.Filled),
+			"peakRSSMiB":       peakRSSMiB(),
+			"preparedGatePass": gate,
+			"detGatePass":      detGate,
+		},
+	}
+}
+
+// tilesDigest is an FNV-1a hash over the exact textual form of every tile —
+// key and full coordinate text — so any bitwise output difference flips it.
+func tilesDigest(tiles []tile.Tile) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	feed := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 0x100000001b3
+		}
+	}
+	for _, t := range tiles {
+		feed(fmt.Sprintf("%d/%d/%d:", t.Z, t.X, t.Y))
+		feed(wkt.Marshal(t.Poly))
+	}
+	return h
+}

@@ -1,0 +1,285 @@
+package prepared
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"polyclip/internal/engine"
+	"polyclip/internal/geom"
+	"polyclip/internal/vatti"
+)
+
+// layerSquareWithHole is the reference layer of the table tests: a 10x10
+// square with a centered 2x2 hole, plus a detached triangle to the right.
+func layerSquareWithHole() geom.Polygon {
+	return geom.Polygon{
+		geom.Rect(0, 0, 10, 10),
+		geom.Rect(4, 4, 6, 6), // hole by even-odd parity
+		{{X: 20, Y: 0}, {X: 24, Y: 0}, {X: 22, Y: 4}},
+	}
+}
+
+func TestClassifyRectTable(t *testing.T) {
+	pp := Prepare(layerSquareWithHole(), engine.EvenOdd)
+	cases := []struct {
+		name string
+		box  geom.BBox
+		want Class
+	}{
+		{"fully inside outer", geom.BBox{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}, Inside},
+		{"fully inside hole", geom.BBox{MinX: 4.5, MinY: 4.5, MaxX: 5.5, MaxY: 5.5}, Outside},
+		{"far outside", geom.BBox{MinX: 50, MinY: 50, MaxX: 60, MaxY: 60}, Outside},
+		{"outside but within layer bbox", geom.BBox{MinX: 12, MinY: 6, MaxX: 14, MaxY: 8}, Outside},
+		{"straddling outer edge", geom.BBox{MinX: -1, MinY: 4, MaxX: 1, MaxY: 5}, Straddle},
+		{"straddling hole edge", geom.BBox{MinX: 3, MinY: 4.5, MaxX: 5, MaxY: 5.5}, Straddle},
+		{"covering whole layer", geom.BBox{MinX: -5, MinY: -5, MaxX: 30, MaxY: 15}, Straddle},
+		{"inside triangle", geom.BBox{MinX: 21.6, MinY: 0.5, MaxX: 22.4, MaxY: 1}, Inside},
+		// Degenerate contacts: the classifier must call these Straddle — a
+		// boundary touch reaches the exact clip, which then decides.
+		{"tile edge collinear with ring edge", geom.BBox{MinX: 0, MinY: 2, MaxX: 2, MaxY: 4}, Straddle},
+		{"tile edge collinear, outside", geom.BBox{MinX: -2, MinY: 2, MaxX: 0, MaxY: 4}, Straddle},
+		{"tile corner on ring corner", geom.BBox{MinX: 10, MinY: 10, MaxX: 12, MaxY: 12}, Straddle},
+		{"tile corner on triangle apex", geom.BBox{MinX: 22, MinY: 4, MaxX: 23, MaxY: 5}, Straddle},
+		{"tile identical to outer ring", geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, Straddle},
+		{"degenerate empty box", geom.BBox{MinX: 3, MinY: 3, MaxX: 2, MaxY: 2}, Outside},
+	}
+	for _, tc := range cases {
+		if got := pp.ClassifyRect(tc.box); got != tc.want {
+			t.Errorf("%s: classified %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// xorArea measures the symmetric difference of two polygons — the robust
+// "same region" check the differential tests use.
+func xorArea(a, b geom.Polygon) float64 {
+	return vatti.ClipRule(a, b, engine.Xor, engine.EvenOdd).Area()
+}
+
+// checkAgainstNaive clips the window three ways — fast path, prepared sweep,
+// naive full sweep — and requires all three to cover the same region.
+func checkAgainstNaive(t *testing.T, name string, src geom.Polygon, pp *Prepared, box geom.BBox, rule engine.FillRule) {
+	t.Helper()
+	got, _ := pp.ClipRect(box)
+	want := NaiveClipRect(src, box, rule)
+	scale := (box.Width() + box.Height()) * (box.Width() + box.Height())
+	if scale == 0 {
+		scale = 1
+	}
+	tol := 1e-9 * scale
+	if d := xorArea(got, want); d > tol {
+		t.Errorf("%s: ClipRect differs from naive by area %g (tol %g)\n got: %v\nwant: %v", name, d, tol, got, want)
+	}
+	sweep := pp.SweepRect(box)
+	if d := xorArea(sweep, want); d > tol {
+		t.Errorf("%s: SweepRect differs from naive by area %g (tol %g)", name, d, tol)
+	}
+}
+
+func TestClipRectTableAllRules(t *testing.T) {
+	src := layerSquareWithHole()
+	boxes := []struct {
+		name string
+		box  geom.BBox
+	}{
+		{"inside", geom.BBox{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}},
+		{"in hole", geom.BBox{MinX: 4.5, MinY: 4.5, MaxX: 5.5, MaxY: 5.5}},
+		{"outside", geom.BBox{MinX: 40, MinY: 40, MaxX: 50, MaxY: 50}},
+		{"straddle outer", geom.BBox{MinX: -1, MinY: -1, MaxX: 5, MaxY: 5}},
+		{"straddle hole", geom.BBox{MinX: 3, MinY: 3, MaxX: 7, MaxY: 7}},
+		{"hole inside tile", geom.BBox{MinX: 3.5, MinY: 3.5, MaxX: 6.5, MaxY: 6.5}},
+		{"covers everything", geom.BBox{MinX: -5, MinY: -5, MaxX: 30, MaxY: 15}},
+		{"edge collinear", geom.BBox{MinX: 0, MinY: 2, MaxX: 2, MaxY: 4}},
+		{"corner on vertex", geom.BBox{MinX: 10, MinY: 10, MaxX: 12, MaxY: 12}},
+		{"identical to outer", geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}},
+		{"sliver along edge", geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 1e-9}},
+	}
+	for _, rule := range engine.Rules() {
+		pp := Prepare(src, rule)
+		for _, bc := range boxes {
+			checkAgainstNaive(t, fmt.Sprintf("%s/%s", rule, bc.name), src, pp, bc.box, rule)
+		}
+	}
+}
+
+// TestClipRectWindingLayers pins rule canonicalization: layers whose region
+// depends on the fill rule (overlapping rings, reversed rings, a bowtie)
+// must clip identically to the naive per-rule sweep.
+func TestClipRectWindingLayers(t *testing.T) {
+	overlapping := geom.Polygon{geom.Rect(0, 0, 6, 6), geom.Rect(4, 4, 10, 10)}
+	reversed := geom.Polygon{geom.Rect(0, 0, 6, 6)}
+	reversed[0].Reverse() // CW: Positive says empty, Negative says full
+	bowtie := geom.Polygon{geom.BowTie(0, 0, 8, 8)}
+	star := geom.Polygon{geom.SelfIntersectingStar(geom.Point{X: 5, Y: 5}, 5, 5, 0)}
+	layers := []struct {
+		name string
+		poly geom.Polygon
+	}{
+		{"overlapping", overlapping},
+		{"reversed", reversed},
+		{"bowtie", bowtie},
+		{"pentagram", star},
+	}
+	boxes := []geom.BBox{
+		{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3},
+		{MinX: 3, MinY: 3, MaxX: 7, MaxY: 7},
+		{MinX: -2, MinY: -2, MaxX: 12, MaxY: 12},
+		{MinX: 4.5, MinY: 4.5, MaxX: 5.5, MaxY: 5.5},
+		{MinX: 5, MinY: 0, MaxX: 9, MaxY: 4},
+	}
+	for _, lc := range layers {
+		for _, rule := range engine.Rules() {
+			pp := Prepare(lc.poly, rule)
+			for bi, box := range boxes {
+				checkAgainstNaive(t, fmt.Sprintf("%s/%s/box%d", lc.name, rule, bi), lc.poly, pp, box, rule)
+			}
+		}
+	}
+}
+
+// randomLayer synthesizes a messy multi-ring layer: grid-placed jittered
+// polygons, some with holes, one star, one self-intersecting bowtie.
+func randomLayer(rng *rand.Rand, cells int) geom.Polygon {
+	var p geom.Polygon
+	for gy := 0; gy < cells; gy++ {
+		for gx := 0; gx < cells; gx++ {
+			cx := float64(gx)*10 + 5
+			cy := float64(gy)*10 + 5
+			r := 2 + rng.Float64()*2.5
+			n := 3 + rng.Intn(7)
+			p = append(p, geom.RegularPolygon(geom.Point{X: cx, Y: cy}, r, n, rng.Float64()))
+			if rng.Float64() < 0.3 {
+				p = append(p, geom.RegularPolygon(geom.Point{X: cx, Y: cy}, r*0.4, n, rng.Float64()))
+			}
+		}
+	}
+	p = append(p, geom.Star(geom.Point{X: 5, Y: 5}, 4, 1.5, 7, 0.3))
+	p = append(p, geom.BowTie(1, 1, 9, 9))
+	return p
+}
+
+func TestClipRectRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	src := randomLayer(rng, 3)
+	span := 30.0
+	for _, rule := range engine.Rules() {
+		pp := Prepare(src, rule)
+		nBoxes := 24
+		if testing.Short() {
+			nBoxes = 8
+		}
+		for i := 0; i < nBoxes; i++ {
+			x := rng.Float64()*span - 2
+			y := rng.Float64()*span - 2
+			w := rng.Float64() * 12
+			h := rng.Float64() * 12
+			box := geom.BBox{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+			if i%4 == 0 {
+				// Grid-aligned windows provoke collinear contacts.
+				box = geom.BBox{MinX: math.Floor(x), MinY: math.Floor(y), MaxX: math.Floor(x) + math.Ceil(w), MaxY: math.Floor(y) + math.Ceil(h)}
+			}
+			checkAgainstNaive(t, fmt.Sprintf("%s/rand%d", rule, i), src, pp, box, rule)
+		}
+	}
+}
+
+// TestPreparedCanonicalRegion pins that preparation preserves the region:
+// the canonical even-odd form covers the same point set as the rule-R
+// reading of the source.
+func TestPreparedCanonicalRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	src := randomLayer(rng, 2)
+	for _, rule := range engine.Rules() {
+		pp := Prepare(src, rule)
+		want := vatti.ClipRule(src, nil, engine.Union, rule)
+		if d := xorArea(pp.Polygon(), want); d > 1e-6 {
+			t.Errorf("%s: canonical form differs from rule region by area %g", rule, d)
+		}
+	}
+}
+
+// TestClipRectConcurrent pins that one Prepared serves concurrent windows
+// with results bit-identical to the serial run (the tile driver shares one
+// Prepared across its worker pool).
+func TestClipRectConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	src := randomLayer(rng, 3)
+	pp := Prepare(src, engine.NonZero)
+	var boxes []geom.BBox
+	for i := 0; i < 64; i++ {
+		x := rng.Float64() * 28
+		y := rng.Float64() * 28
+		boxes = append(boxes, geom.BBox{MinX: x, MinY: y, MaxX: x + 4, MaxY: y + 4})
+	}
+	serial := make([]geom.Polygon, len(boxes))
+	for i, b := range boxes {
+		serial[i], _ = pp.ClipRect(b)
+	}
+	for round := 0; round < 4; round++ {
+		parallel := make([]geom.Polygon, len(boxes))
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(boxes); i += 8 {
+					parallel[i], _ = pp.ClipRect(boxes[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		for i := range boxes {
+			if fmt.Sprint(serial[i]) != fmt.Sprint(parallel[i]) {
+				t.Fatalf("round %d window %d: concurrent result differs from serial", round, i)
+			}
+		}
+	}
+}
+
+// TestStatsCounters pins the route accounting the benchmark artifact
+// reports.
+func TestStatsCounters(t *testing.T) {
+	pp := Prepare(layerSquareWithHole(), engine.EvenOdd)
+	if _, cls := pp.ClipRect(geom.BBox{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}); cls != Inside {
+		t.Fatalf("inside window classified %v", cls)
+	}
+	if _, cls := pp.ClipRect(geom.BBox{MinX: 50, MinY: 50, MaxX: 60, MaxY: 60}); cls != Outside {
+		t.Fatalf("outside window classified %v", cls)
+	}
+	if _, cls := pp.ClipRect(geom.BBox{MinX: 21, MinY: 1, MaxX: 25, MaxY: 2}); cls != Straddle {
+		t.Fatalf("triangle straddle classified %v", cls)
+	}
+	st := pp.Stats()
+	if st.FastInside != 1 || st.FastOutside != 1 || st.Sweeps() != 1 {
+		t.Errorf("stats = %+v, want 1 inside / 1 outside / 1 sweep", st)
+	}
+	if st.ConvexClips != 1 {
+		t.Errorf("triangle straddle should take the convex route, stats = %+v", st)
+	}
+	if pp.NumEdges() == 0 || pp.SnapEps() <= 0 || pp.Rule() != engine.EvenOdd {
+		t.Errorf("accessor sanity: edges=%d eps=%g rule=%v", pp.NumEdges(), pp.SnapEps(), pp.Rule())
+	}
+}
+
+// TestEmptyAndDegenerateLayers: preparation of nothing classifies everything
+// Outside and clips to nothing.
+func TestEmptyAndDegenerateLayers(t *testing.T) {
+	for _, src := range []geom.Polygon{nil, {}, {geom.Ring{{X: 0, Y: 0}, {X: 1, Y: 1}}}} {
+		pp := Prepare(src, engine.EvenOdd)
+		box := geom.BBox{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}
+		if cls := pp.ClassifyRect(box); cls != Outside {
+			t.Errorf("empty layer classified %v", cls)
+		}
+		if out, _ := pp.ClipRect(box); len(out) != 0 {
+			t.Errorf("empty layer clipped to %v", out)
+		}
+	}
+	// Negative rule on a CCW-only layer: empty canonical region.
+	pp := Prepare(geom.Polygon{geom.Rect(0, 0, 4, 4)}, engine.Negative)
+	if cls := pp.ClassifyRect(geom.BBox{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}); cls != Outside {
+		t.Errorf("negative-empty layer classified %v", cls)
+	}
+}

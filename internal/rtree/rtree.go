@@ -141,6 +141,36 @@ func (t *Tree) search(ni int32, q geom.BBox, visit func(id int32)) {
 	}
 }
 
+// SearchRect appends to out the candidate ids for the window q — every item
+// in a leaf whose node box intersects q, exactly the ids Search would visit —
+// and returns the extended slice. It is the window query of the tile
+// pipeline: no callback, so a caller that reuses out across queries
+// allocates nothing per query once the slice has grown to its working size
+// (pinned by TestSearchRectAllocs); the traversal itself is the same
+// recursive descent as Search, which is allocation-free. Callers needing the
+// exact per-item test filter the ids against their own boxes, as
+// SearchFiltered does. Ids arrive in tree traversal order.
+func (t *Tree) SearchRect(q geom.BBox, out []int32) []int32 {
+	if t.root < 0 {
+		return out
+	}
+	return t.searchRect(t.root, q, out)
+}
+
+func (t *Tree) searchRect(ni int32, q geom.BBox, out []int32) []int32 {
+	nd := &t.nodes[ni]
+	if !nd.box.Intersects(q) {
+		return out
+	}
+	if nd.leaf {
+		return append(out, nd.child...)
+	}
+	for _, ci := range nd.child {
+		out = t.searchRect(ci, q, out)
+	}
+	return out
+}
+
 // SearchFiltered calls visit only for items whose own box (from box(id))
 // intersects q — Search plus the exact leaf-level test.
 func (t *Tree) SearchFiltered(q geom.BBox, box func(id int32) geom.BBox, visit func(id int32)) {

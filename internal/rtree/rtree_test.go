@@ -188,3 +188,51 @@ func TestJoinVisitAllocs(t *testing.T) {
 		t.Errorf("Join path allocates %.1f objects/run over a warm buffer, want <= 3", joinAllocs)
 	}
 }
+
+// TestSearchRectMatchesSearch pins that the window query returns exactly the
+// ids Search visits, in the same order — SearchRect is Search minus the
+// callback, nothing more.
+func TestSearchRectMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	boxes := randomBoxes(rng, 800, 90)
+	tr := Build(len(boxes), func(i int32) geom.BBox { return boxes[i] })
+	var buf []int32
+	for q := 0; q < 50; q++ {
+		x := rng.Float64() * 90
+		y := rng.Float64() * 90
+		query := geom.BBox{MinX: x, MinY: y, MaxX: x + rng.Float64()*25, MaxY: y + rng.Float64()*25}
+		var want []int32
+		tr.Search(query, func(id int32) { want = append(want, id) })
+		buf = tr.SearchRect(query, buf[:0])
+		if len(buf) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(append([]int32{}, buf...), want) {
+			t.Fatalf("query %d: SearchRect returned %d ids, Search visited %d", q, len(buf), len(want))
+		}
+	}
+	// Empty tree: no-op, buffer unchanged.
+	if got := Build(0, nil).SearchRect(geom.BBox{MaxX: 1, MaxY: 1}, nil); got != nil {
+		t.Errorf("empty tree returned %v", got)
+	}
+}
+
+// TestSearchRectAllocs mirrors TestJoinVisitAllocs for the window query: over
+// a warm reused buffer, a query must allocate nothing at all — the tile
+// pipeline runs one query per tile, and tiles come by the million.
+func TestSearchRectAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	boxes := randomBoxes(rng, 600, 80)
+	tr := Build(len(boxes), func(i int32) geom.BBox { return boxes[i] })
+	query := geom.BBox{MinX: 10, MinY: 10, MaxX: 60, MaxY: 60}
+	buf := tr.SearchRect(query, nil)
+	if len(buf) == 0 {
+		t.Fatal("query returned no candidates; the alloc measurement is vacuous")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		buf = tr.SearchRect(query, buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("SearchRect allocates %.1f objects/run over a warm buffer, want 0", allocs)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"polyclip"
+	"polyclip/internal/acache"
 	"polyclip/internal/guard"
+	"polyclip/internal/tile"
 )
 
 // job is one admitted clip request travelling through the batcher.
@@ -23,6 +25,9 @@ type jobResult struct {
 	st  *polyclip.Stats
 	m   *RequestMetrics // job-side metrics, shipped back on the response channel
 	err error
+
+	tiles []tile.Tile // tile jobs only
+	tst   *tile.Stats
 }
 
 // respond delivers the job's result exactly once: later sends (a flush
@@ -145,6 +150,10 @@ func (s *Server) clipOne(j *job) {
 			j.respond(jobResult{err: guard.FromPanic("serve.clip", -1, guard.NoPair, r)})
 		}
 	}()
+	if j.req.tileSpec != nil {
+		s.cutTiles(j)
+		return
+	}
 
 	opt := polyclip.Options{
 		Algorithm: j.req.algo,
@@ -176,6 +185,25 @@ func (s *Server) clipOne(j *job) {
 		}
 	}
 	j.respond(last)
+}
+
+// cutTiles serves one tile-cutting job: the prepared pyramid cut through
+// the shared arrangement cache (so a layer cut repeatedly canonicalizes
+// once). Degraded jobs run single-threaded, like degraded clips. tile.Cut
+// has no internal panic sites of its own beyond prepared's rescue route, so
+// clipOne's recover is the outer guard.
+func (s *Server) cutTiles(j *job) {
+	opt := tile.Options{
+		Rule:    j.req.rule,
+		Threads: s.cfg.Threads,
+		Naive:   j.req.tileNaive,
+		Cache:   acache.Shared(),
+	}
+	if j.degraded {
+		opt.Threads = 1
+	}
+	tiles, st, err := tile.Cut(j.ctx, j.req.subject, *j.req.tileSpec, opt)
+	j.respond(jobResult{tiles: tiles, tst: &st, m: j.m, err: err})
 }
 
 // retryable reports whether the serve layer should retry: a structured

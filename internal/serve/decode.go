@@ -12,6 +12,8 @@ import (
 
 	"polyclip"
 	"polyclip/internal/geojson"
+	"polyclip/internal/geom"
+	"polyclip/internal/tile"
 	"polyclip/internal/wkt"
 )
 
@@ -61,7 +63,10 @@ func httpErrorf(status int, code, format string, args ...any) *httpError {
 	return &httpError{status: status, body: ErrorResponse{Code: code, Error: fmt.Sprintf(format, args...)}}
 }
 
-// parsedRequest is a decoded, validated clip request ready to enqueue.
+// parsedRequest is a decoded, validated request ready to enqueue: a clip
+// (the default) or — when tileSpec is non-nil — a tile-cutting job, where
+// subject holds the layer and op/clip are unused. Both kinds ride the same
+// admission queue, batcher, and degraded/shed machinery.
 type parsedRequest struct {
 	subject, clip polyclip.Polygon
 	op            polyclip.Op
@@ -69,6 +74,9 @@ type parsedRequest struct {
 	algo          polyclip.Algorithm
 	opName        string
 	algoName      string
+
+	tileSpec  *tile.Spec
+	tileNaive bool
 }
 
 // decodeRequest turns an HTTP request into a validated clip job, mapping
@@ -77,34 +85,12 @@ type parsedRequest struct {
 // op/rule/algorithm values, and operand parse errors carrying the
 // position context of the WKT/GeoJSON parsers.
 func decodeRequest(w http.ResponseWriter, r *http.Request, maxBody int64) (*parsedRequest, *httpError) {
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		mt, _, err := mime.ParseMediaType(ct)
-		if err != nil || (mt != "application/json" && mt != "application/geo+json" && mt != "text/json") {
-			return nil, httpErrorf(http.StatusUnsupportedMediaType, "unsupported-content-type",
-				"content type %q is not supported; send application/json", ct)
-		}
-	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
-	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			return nil, httpErrorf(http.StatusRequestEntityTooLarge, "body-too-large",
-				"request body exceeds the %d byte limit", mbe.Limit)
-		}
-		return nil, httpErrorf(http.StatusBadRequest, "body-read", "reading request body: %v", err)
+	body, he := readBody(w, r, maxBody)
+	if he != nil {
+		return nil, he
 	}
 	var req ClipRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		he := httpErrorf(http.StatusBadRequest, "malformed-json", "malformed request body: %v", err)
-		var syn *json.SyntaxError
-		if errors.As(err, &syn) {
-			he.body.Offset = syn.Offset
-		}
-		var typ *json.UnmarshalTypeError
-		if errors.As(err, &typ) {
-			he.body.Offset = typ.Offset
-			he.body.Token = typ.Field
-		}
+	if he := unmarshalBody(body, &req); he != nil {
 		return nil, he
 	}
 
@@ -122,19 +108,11 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, maxBody int64) (*pars
 		return nil, httpErrorf(http.StatusBadRequest, "unknown-op",
 			"op %q is not one of intersection, union, difference, xor", req.Op)
 	}
-	switch strings.ToLower(req.Rule) {
-	case "", "evenodd":
-		out.rule = polyclip.EvenOdd
-	case "nonzero":
-		out.rule = polyclip.NonZero
-	case "positive":
-		out.rule = polyclip.Positive
-	case "negative":
-		out.rule = polyclip.Negative
-	default:
-		return nil, httpErrorf(http.StatusBadRequest, "unknown-rule",
-			"rule %q is not one of evenodd, nonzero, positive, negative", req.Rule)
+	rule, he := parseRule(req.Rule)
+	if he != nil {
+		return nil, he
 	}
+	out.rule = rule
 	out.algoName = strings.ToLower(req.Algorithm)
 	switch out.algoName {
 	case "", "overlay":
@@ -150,6 +128,7 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, maxBody int64) (*pars
 			"algorithm %q is not one of overlay, slabs, scanbeam, sequential", req.Algorithm)
 	}
 
+	var err error
 	if out.subject, err = parseOperand(req.Subject); err != nil {
 		return nil, operandError("subject", err)
 	}
@@ -157,6 +136,142 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, maxBody int64) (*pars
 		return nil, operandError("clip", err)
 	}
 	return out, nil
+}
+
+// readBody enforces the content type and size limit and slurps the body.
+func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, *httpError) {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != "application/json" && mt != "application/geo+json" && mt != "text/json") {
+			return nil, httpErrorf(http.StatusUnsupportedMediaType, "unsupported-content-type",
+				"content type %q is not supported; send application/json", ct)
+		}
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, httpErrorf(http.StatusRequestEntityTooLarge, "body-too-large",
+				"request body exceeds the %d byte limit", mbe.Limit)
+		}
+		return nil, httpErrorf(http.StatusBadRequest, "body-read", "reading request body: %v", err)
+	}
+	return body, nil
+}
+
+// unmarshalBody decodes the JSON envelope, mapping failures to a 400 with
+// the decoder's byte offset.
+func unmarshalBody(body []byte, v any) *httpError {
+	err := json.Unmarshal(body, v)
+	if err == nil {
+		return nil
+	}
+	he := httpErrorf(http.StatusBadRequest, "malformed-json", "malformed request body: %v", err)
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		he.body.Offset = syn.Offset
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		he.body.Offset = typ.Offset
+		he.body.Token = typ.Field
+	}
+	return he
+}
+
+// parseRule maps the wire rule name to the engine rule.
+func parseRule(s string) (polyclip.FillRule, *httpError) {
+	switch strings.ToLower(s) {
+	case "", "evenodd":
+		return polyclip.EvenOdd, nil
+	case "nonzero":
+		return polyclip.NonZero, nil
+	case "positive":
+		return polyclip.Positive, nil
+	case "negative":
+		return polyclip.Negative, nil
+	default:
+		return 0, httpErrorf(http.StatusBadRequest, "unknown-rule",
+			"rule %q is not one of evenodd, nonzero, positive, negative", s)
+	}
+}
+
+// TileRequest is the wire form of one tile-cutting request: a layer plus a
+// pyramid spec. When extent is omitted the pyramid covers the padded square
+// around the layer's bounding box.
+type TileRequest struct {
+	Layer   json.RawMessage `json:"layer"`
+	MinZoom int             `json:"minZoom"`
+	MaxZoom int             `json:"maxZoom"`
+	Extent  []float64       `json:"extent,omitempty"` // [minX, minY, maxX, maxY]
+	Rule    string          `json:"rule,omitempty"`
+	Naive   bool            `json:"naive,omitempty"` // baseline mode, for benchmarking
+}
+
+// TileFeature is one non-empty tile on the wire.
+type TileFeature struct {
+	Z        int             `json:"z"`
+	X        int32           `json:"x"`
+	Y        int32           `json:"y"`
+	Geometry json.RawMessage `json:"geometry"`
+}
+
+// TileResponse is the wire form of a successful cut.
+type TileResponse struct {
+	Tiles    []TileFeature `json:"tiles"`
+	Count    int           `json:"count"`
+	Stats    *tile.Stats   `json:"stats,omitempty"`
+	Degraded bool          `json:"degraded,omitempty"`
+}
+
+// serveMaxZoom caps pyramid depth over HTTP: zoom 10 is a million-tile
+// response ceiling, far past any sane payload but safely below the
+// driver's materialization limit.
+const serveMaxZoom = 10
+
+// decodeTileRequest turns an HTTP request into a validated tile-cutting job.
+func decodeTileRequest(w http.ResponseWriter, r *http.Request, maxBody int64) (*parsedRequest, *httpError) {
+	body, he := readBody(w, r, maxBody)
+	if he != nil {
+		return nil, he
+	}
+	var req TileRequest
+	if he := unmarshalBody(body, &req); he != nil {
+		return nil, he
+	}
+	rule, he := parseRule(req.Rule)
+	if he != nil {
+		return nil, he
+	}
+	layer, err := parseOperand(req.Layer)
+	if err != nil {
+		return nil, operandError("layer", err)
+	}
+	if req.MaxZoom > serveMaxZoom {
+		return nil, httpErrorf(http.StatusBadRequest, "zoom-too-deep",
+			"maxZoom %d exceeds the serving limit %d", req.MaxZoom, serveMaxZoom)
+	}
+	spec := tile.Spec{MinZoom: req.MinZoom, MaxZoom: req.MaxZoom}
+	switch len(req.Extent) {
+	case 0:
+		spec.Extent = tile.SquareExtent(layer.BBox())
+	case 4:
+		spec.Extent = geom.BBox{MinX: req.Extent[0], MinY: req.Extent[1], MaxX: req.Extent[2], MaxY: req.Extent[3]}
+	default:
+		return nil, httpErrorf(http.StatusBadRequest, "bad-extent",
+			"extent must be [minX, minY, maxX, maxY], got %d values", len(req.Extent))
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, httpErrorf(http.StatusBadRequest, "bad-spec", "%v", err)
+	}
+	return &parsedRequest{
+		subject:   layer,
+		rule:      rule,
+		opName:    "tiles",
+		algoName:  "tiles",
+		tileSpec:  &spec,
+		tileNaive: req.Naive,
+	}, nil
 }
 
 // parseOperand decodes one operand: a JSON string is WKT, an object is a

@@ -188,11 +188,12 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP surface: POST /clip, GET /healthz, GET /statz,
-// GET /metrics.csv.
+// Handler returns the HTTP surface: POST /clip, POST /tile, GET /healthz,
+// GET /statz, GET /metrics.csv.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/clip", s.handleClip)
+	mux.HandleFunc("/tile", s.handleTile)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/metrics.csv", s.handleMetricsCSV)
@@ -287,11 +288,24 @@ func (s *Server) handleMetricsCSV(w http.ResponseWriter, r *http.Request) {
 	_ = s.metrics.WriteCSV(w)
 }
 
-// handleClip is the request path: decode → admit (enqueue, degrade, or
+// handleClip is the clip request path: decode → admit (enqueue, degrade, or
 // shed) → await the response channel → encode. A panic anywhere in the
 // handler — including the serve.enqueue / serve.encode fault sites — is
 // answered as a structured 500, never a crash.
 func (s *Server) handleClip(w http.ResponseWriter, r *http.Request) {
+	s.handleJob(w, r, decodeRequest)
+}
+
+// handleTile is the tile-cutting path: same admission, batching, degraded
+// and shed machinery as /clip, with a tile decoder in front and the tile
+// encoder behind.
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	s.handleJob(w, r, decodeTileRequest)
+}
+
+// handleJob runs one request of either kind through the shared pipeline.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request,
+	decode func(http.ResponseWriter, *http.Request, int64) (*parsedRequest, *httpError)) {
 	m := &RequestMetrics{ID: s.nextID.Add(1), RecvNs: time.Now().UnixNano()}
 	answered := false
 	finish := func(status int) {
@@ -335,7 +349,7 @@ func (s *Server) handleClip(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	preq, he := decodeRequest(w, r, s.cfg.MaxBodyBytes)
+	preq, he := decode(w, r, s.cfg.MaxBodyBytes)
 	if he != nil {
 		s.writeError(w, he)
 		finish(he.status)
@@ -415,11 +429,14 @@ func (s *Server) handleClip(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeResult encodes the clipped polygon as GeoJSON. The serve.encode
-// fault site sits before marshalling; a panic there unwinds into the
-// handler's recovery.
+// writeResult encodes the clipped polygon as GeoJSON — or, for a tile job,
+// the tile list. The serve.encode fault site sits before marshalling; a
+// panic there unwinds into the handler's recovery.
 func (s *Server) writeResult(w http.ResponseWriter, j *job, res jobResult) (int, error) {
 	guard.Hit("serve.encode")
+	if j.req.tileSpec != nil {
+		return s.writeTileResult(w, j, res)
+	}
 	raw, err := polyclip.FormatGeoJSON(res.out)
 	if err != nil {
 		return 0, err
@@ -432,6 +449,26 @@ func (s *Server) writeResult(w http.ResponseWriter, j *job, res jobResult) (int,
 	if res.st != nil {
 		resp.Engine = res.st.Engine
 		resp.Attempts = res.st.Resilience.Attempts
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// writeTileResult encodes one cut pyramid: each non-empty tile as a
+// (z, x, y, geometry) record, already in canonical sorted order.
+func (s *Server) writeTileResult(w http.ResponseWriter, j *job, res jobResult) (int, error) {
+	resp := TileResponse{
+		Tiles:    make([]TileFeature, 0, len(res.tiles)),
+		Count:    len(res.tiles),
+		Stats:    res.tst,
+		Degraded: j.degraded,
+	}
+	for _, t := range res.tiles {
+		raw, err := polyclip.FormatGeoJSON(t.Poly)
+		if err != nil {
+			return 0, err
+		}
+		resp.Tiles = append(resp.Tiles, TileFeature{Z: t.Z, X: t.X, Y: t.Y, Geometry: raw})
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Reproduce BENCH_tiles.json: vector-tile pyramid cutting through the
+# prepared-geometry pipeline (internal/prepared + internal/tile).
+#
+# One synthetic multi-ring layer (TILES_RINGS rings) is cut into a z/x/y
+# pyramid (zooms 0..TILES_MAXZOOM) twice: a naive baseline that pays a full
+# resolve+sweep of the raw layer for every candidate tile, and the prepared
+# pipeline that resolves the layer once and then settles most tiles with
+# O(log n) fast paths (MBR accept/reject, quadtree pruning, convex-window
+# band clips). The artifact records both throughputs, the fast-path route
+# counts, and the fraction of pyramid tiles that never reached a sweep.
+#
+# Embedded contract gates — the script exits nonzero unless:
+#   - the prepared cut is >= 2x faster than the naive baseline;
+#   - the prepared cut is bit-identical at 1, 2 and 8 threads;
+#   - a fast-path fraction is reported.
+#
+# Deterministic inputs (fixed seed); timings vary with the host.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${TILES_OUT:-BENCH_tiles.json}"
+RINGS="${TILES_RINGS:-64}"
+MAXZOOM="${TILES_MAXZOOM:-6}"
+SEED="${TILES_SEED:-42}"
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT INT TERM
+
+echo "running tile-cutting benchmark ($RINGS rings, zooms 0:$MAXZOOM)..." >&2
+go run ./cmd/bench -exp tiles -rings "$RINGS" -maxzoom "$MAXZOOM" -seed "$SEED" -json > "$TMP"
+
+# One JSON object per line; the tiles experiment emits exactly one.
+RESULT=$(head -n1 "$TMP")
+if [ -z "$RESULT" ]; then
+	echo "FAIL: benchmark produced no output" >&2
+	exit 1
+fi
+
+# Contract gates: the counters are emitted by Go's encoding/json with no
+# whitespace, so fixed-string grep is reliable here.
+if ! printf '%s' "$RESULT" | grep -q '"fastPathPct":'; then
+	echo "FAIL: no fast-path fraction reported" >&2
+	exit 1
+fi
+if ! printf '%s' "$RESULT" | grep -q '"preparedGatePass":1'; then
+	echo "FAIL: prepared cut is not >= 2x faster than the naive baseline" >&2
+	printf '%s\n' "$RESULT" >&2
+	exit 1
+fi
+if ! printf '%s' "$RESULT" | grep -q '"detGatePass":1'; then
+	echo "FAIL: prepared cut is not bit-identical at 1/2/8 threads" >&2
+	printf '%s\n' "$RESULT" >&2
+	exit 1
+fi
+
+CORES=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)
+GOVER=$(go env GOVERSION)
+GOOS=$(go env GOOS)
+GOARCH=$(go env GOARCH)
+DATE=$(date -u +%Y-%m-%d)
+
+{
+	printf '{\n'
+	printf '  "description": "Vector-tile pyramid cutting (internal/tile over internal/prepared): the subject layer is resolved and indexed once, then every tile is settled by the cheapest sufficient route — O(1) MBR accept/reject, quadtree subtree pruning/filling, single-convex-ring clip, or a two-pass y/x band clip — with a full sweep only as a rescue. The naive baseline re-clips the raw layer per tile. Gated in scripts/bench_tiles.sh (make tile-bench): prepared >= 2x naive, output bit-identical at 1/2/8 threads.",\n'
+	printf '  "environment": {\n'
+	printf '    "goos": "%s",\n' "$GOOS"
+	printf '    "goarch": "%s",\n' "$GOARCH"
+	printf '    "cores": %d,\n' "$CORES"
+	printf '    "go": "%s",\n' "$GOVER"
+	printf '    "rings": %d,\n' "$RINGS"
+	printf '    "max_zoom": %d,\n' "$MAXZOOM"
+	printf '    "seed": %d,\n' "$SEED"
+	printf '    "date": "%s"\n' "$DATE"
+	printf '  },\n'
+	printf '  "gate": {"prepared_ge_2x_naive": true, "deterministic_1_2_8_threads": true, "fast_path_fraction_reported": true},\n'
+	printf '  "result": %s\n' "$RESULT"
+	printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT (gates passed)" >&2

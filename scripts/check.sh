@@ -33,6 +33,21 @@ for pkg in ./internal/vatti/ ./internal/arrange/ ./internal/engine/ ./internal/s
 	echo "$pkg: ${pct}%"
 done
 
+echo "== coverage floor (prepared, tile >= ${COVER_FLOOR_TILES:-85}%: a missed fast-path branch is a silently wrong tile)"
+COVER_FLOOR_TILES="${COVER_FLOOR_TILES:-85}"
+for pkg in ./internal/prepared/ ./internal/tile/; do
+	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	if [ -z "$pct" ]; then
+		echo "could not parse coverage for $pkg" >&2
+		exit 1
+	fi
+	if ! awk -v p="$pct" -v f="$COVER_FLOOR_TILES" 'BEGIN{exit !(p >= f)}'; then
+		echo "coverage for $pkg is ${pct}%, below the ${COVER_FLOOR_TILES}% floor" >&2
+		exit 1
+	fi
+	echo "$pkg: ${pct}%"
+done
+
 echo "== go test -race ./internal/pool ./internal/par (scheduler battery + fan-out edges first: fast signal)"
 go test -race ./internal/pool/ ./internal/par/
 
@@ -73,5 +88,26 @@ go run ./cmd/chaos -seed "$CHAOS_SEED" -cases "$CHAOS_CASES" -faults
 
 echo "== chaos (seed 7, 320 cases, degenerate taxonomy: exact coincidences, all rules)"
 go run ./cmd/chaos -seed 7 -cases 320 -family degenerate
+
+echo "== chaos (seed 5, 120 cases, tiles: pyramid partition invariants, all rules)"
+go run ./cmd/chaos -seed 5 -cases 120 -family tiles
+
+echo "== tilecut smoke (datagen layer through the prepared pipeline, WKT out)"
+TILE_TMP=$(mktemp -d)
+trap 'rm -rf "$TILE_TMP"' EXIT INT TERM
+go run ./cmd/datagen -tiles 32 -seed 3 -o "$TILE_TMP/layer.wkt"
+go run ./cmd/tilecut -in "$TILE_TMP/layer.wkt" -zooms 0:3 -o "$TILE_TMP/tiles.ndjson" -stats 2> "$TILE_TMP/stats.json"
+TILE_COUNT=$(wc -l < "$TILE_TMP/tiles.ndjson")
+if [ "$TILE_COUNT" -lt 1 ]; then
+	echo "tilecut emitted no tiles" >&2
+	exit 1
+fi
+go run ./cmd/tilecut -in "$TILE_TMP/layer.wkt" -zooms 0:3 -naive -o "$TILE_TMP/naive.ndjson"
+NAIVE_COUNT=$(wc -l < "$TILE_TMP/naive.ndjson")
+if [ "$TILE_COUNT" != "$NAIVE_COUNT" ]; then
+	echo "tilecut prepared ($TILE_COUNT tiles) and naive ($NAIVE_COUNT tiles) disagree" >&2
+	exit 1
+fi
+echo "tilecut: $TILE_COUNT tiles, prepared and naive agree"
 
 echo "all checks passed"
